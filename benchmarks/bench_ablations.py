@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* RIFF on/off (beyond Fig. 16c: at schedule parity);
+* explicit retirement on/off;
+* swizzle minimization on/off (with a forced-bad-layout variant);
+* tensor- vs line-granularity replacement (CHORD vs LRU at equal capacity).
+"""
+
+from conftest import run_once, write_report
+
+from repro.analysis.report import render_table
+from repro.baselines.runner import run_workload_config
+from repro.hw import AcceleratorConfig
+from repro.score import Score, ScoreOptions
+from repro.sim import EngineOptions, ScheduleEngine
+from repro.workloads import SHALLOW_WATER1, cg_workload
+
+CFG = AcceleratorConfig()
+
+
+def _run_variants():
+    dag = cg_workload(SHALLOW_WATER1, n=16, iterations=10).build()
+    schedule = Score(CFG).schedule(dag)
+    variants = {
+        "CELLO (RIFF + retire)": EngineOptions(),
+        "no RIFF": EngineOptions(use_riff=False),
+        "no retire": EngineOptions(explicit_retire=False, chord_entries=4096),
+        "no RIFF, no retire": EngineOptions(
+            use_riff=False, explicit_retire=False, chord_entries=4096
+        ),
+    }
+    return {
+        label: ScheduleEngine(CFG, opt).run(schedule, config_name=label)
+        for label, opt in variants.items()
+    }
+
+
+def test_ablation_riff_and_retire(benchmark):
+    results = run_once(benchmark, _run_variants)
+    full = results["CELLO (RIFF + retire)"].dram_bytes
+    # Removing either mechanism never helps; removing both is worst.
+    for label, r in results.items():
+        assert r.dram_bytes >= full
+    assert results["no RIFF, no retire"].dram_bytes >= results["no RIFF"].dram_bytes * 0.99
+    rows = [[label, r.dram_bytes / 1e6, r.dram_bytes / full]
+            for label, r in results.items()]
+    write_report(
+        "ablation_riff_retire",
+        render_table(["variant", "DRAM MB", "vs full"], rows,
+                     title="Ablation: RIFF and explicit retirement (CG sw1 N=16)"),
+    )
+
+
+def _run_swizzle_ablation():
+    dag = cg_workload(SHALLOW_WATER1, n=16, iterations=10).build()
+    out = {}
+    for label, minimize in (("swizzle-minimized", True), ("no minimization", False)):
+        sched = Score(CFG, ScoreOptions(minimize_swizzle=minimize)).schedule(dag)
+        out[label] = ScheduleEngine(CFG).run(sched, config_name=label)
+    # Forced-bad layout: flip every skewed tensor's major dimension so each
+    # streaming consumer needs a transform.
+    sched = Score(CFG, ScoreOptions(minimize_swizzle=True)).schedule(dag)
+    from dataclasses import replace
+
+    bad = dict(sched.placements)
+    for name, p in bad.items():
+        spec = dag.tensor(name)
+        consumers = tuple(p.consumer_routes)
+        if spec.bytes > CFG.rf_bytes and consumers:
+            bad[name] = replace(p, swizzled_consumers=consumers)
+    sched.placements = bad
+    out["forced bad layout"] = ScheduleEngine(CFG).run(sched, config_name="bad-layout")
+    return out
+
+
+def test_ablation_swizzle(benchmark):
+    results = run_once(benchmark, _run_swizzle_ablation)
+    good = results["swizzle-minimized"].dram_bytes
+    # CG's natural layouts agree, so minimization is free; a forced bad
+    # layout pays transform round trips on every streaming consumer.
+    assert results["no minimization"].dram_bytes == good
+    assert results["forced bad layout"].dram_bytes > 1.5 * good
+    rows = [[label, r.dram_bytes / 1e6] for label, r in results.items()]
+    write_report(
+        "ablation_swizzle",
+        render_table(["variant", "DRAM MB"], rows,
+                     title="Ablation: swizzle minimization (CG sw1 N=16)"),
+    )
+
+
+def test_ablation_granularity_chord_vs_cache(benchmark):
+    """Tensor-granularity replacement (CHORD) vs line-granularity (LRU) at
+    identical capacity and schedule-independent traffic."""
+    w = cg_workload(SHALLOW_WATER1, n=16, iterations=3)
+
+    def run():
+        return (
+            run_workload_config(w, "CELLO", CFG),
+            run_workload_config(w, "Flex+LRU", CFG),
+        )
+
+    cello, lru = run_once(benchmark, run)
+    assert cello.dram_bytes < lru.dram_bytes
+    write_report(
+        "ablation_granularity",
+        render_table(
+            ["mechanism", "DRAM MB"],
+            [["CHORD (operand-granularity)", cello.dram_bytes / 1e6],
+             ["LRU cache (line-granularity)", lru.dram_bytes / 1e6]],
+            title="Ablation: replacement granularity (CG sw1 N=16, 3 iters)",
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulator components themselves.
+
+These are genuine pytest-benchmark microkernels (multiple rounds): CHORD
+event throughput, cache simulation rate, Algorithm 2 classification and
+SCORE scheduling latency.  They guard against performance regressions in
+the library itself.
+"""
+
+import numpy as np
+
+from repro.buffers.cache import SetAssociativeCache
+from repro.buffers.lru import LruPolicy
+from repro.chord.buffer import ChordBuffer
+from repro.chord.hints import ReuseHints, TensorHints
+from repro.core.classify import classify_dependencies
+from repro.hw import AcceleratorConfig
+from repro.score import Score
+from repro.workloads import FV1, cg_workload
+
+CFG = AcceleratorConfig()
+
+
+def test_chord_event_throughput(benchmark):
+    n = 64
+    hints = ReuseHints({
+        f"T{i}": TensorHints(f"T{i}", 10_000, i, (i + n, i + 2 * n), False)
+        for i in range(n)
+    })
+
+    def run():
+        chord = ChordBuffer(200_000, hints)
+        for i in range(n):
+            chord.write(f"T{i}", i)
+        for rnd in (1, 2):
+            for i in range(n):
+                chord.read(f"T{i}", rnd * n + i)
+        return chord.stats.dram_bytes
+
+    result = benchmark(run)
+    assert result >= 0
+
+
+def test_cache_sim_rate(benchmark):
+    cache = SetAssociativeCache(64 * 1024, 16, 8, LruPolicy())
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 16384, size=20_000)
+
+    def run():
+        for b in blocks:
+            cache.access_line(int(b), False)
+        return cache.stats.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_classification_latency(benchmark):
+    dag = cg_workload(FV1, n=16, iterations=10).build()
+    cdag = benchmark(classify_dependencies, dag)
+    assert len(cdag.dependency) == len(dag.edges())
+
+
+def test_score_scheduling_latency(benchmark):
+    dag = cg_workload(FV1, n=16, iterations=10).build()
+    scheduler = Score(CFG)
+    sched = benchmark(scheduler.schedule, dag)
+    assert sched.n_pipelined_edges == 20  # 2 per iteration

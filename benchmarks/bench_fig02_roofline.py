@@ -1,0 +1,18 @@
+"""Fig. 2: arithmetic intensity + roofline for regular vs skewed GEMMs."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig02_roofline
+from repro.hw import AcceleratorConfig
+
+
+def test_fig02_roofline(benchmark):
+    cfg = AcceleratorConfig()
+    rows = run_once(benchmark, fig02_roofline.run, cfg)
+    regular, skewed = rows
+    # Paper values: 42.66 vs 2 ops/byte; compute vs memory bound.
+    assert abs(regular.intensity_ops_per_byte - 42.66) < 0.01
+    assert abs(skewed.intensity_ops_per_byte - 2.0) < 0.02
+    assert not regular.memory_bound
+    assert skewed.memory_bound
+    write_report("fig02_roofline", fig02_roofline.report(cfg))

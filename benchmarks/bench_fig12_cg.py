@@ -1,0 +1,27 @@
+"""Fig. 12: CG performance — the paper's main result.
+
+Full grid: {fv1, shallow_water1, G2_circuit} × N ∈ {1, 16} ×
+{250, 1000} GB/s × the five main configurations.  The cache simulations
+auto-coarsen to stay tractable (the knob DESIGN.md documents).
+"""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig12_cg_performance
+from repro.hw import AcceleratorConfig
+from repro.sim.results import geomean
+
+
+def test_fig12_cg_performance(benchmark):
+    cfg = AcceleratorConfig()
+    panels = run_once(benchmark, fig12_cg_performance.run, cfg)
+    # Shape assertions (paper Sec. VII-B1):
+    for p in panels:
+        # FLAT gains nothing on CG (every intermediate has a delayed consumer).
+        assert p.results["FLAT"].dram_bytes == p.results["Flexagon"].dram_bytes
+        # CELLO wins every panel.
+        for other in ("Flexagon", "FLAT", "Flex+LRU", "Flex+BRRIP"):
+            assert p.results["CELLO"].time_s <= p.results[other].time_s * 1.001
+    gm = fig12_cg_performance.cello_geomean_speedup(panels)
+    assert gm > 2.0  # paper: ~4x geomean
+    write_report("fig12_cg_performance", fig12_cg_performance.report(cfg))

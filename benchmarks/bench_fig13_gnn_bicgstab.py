@@ -1,0 +1,24 @@
+"""Fig. 13: GNN (cora, protein) and BiCGStab (NASA4704, fv1, shallow_water1)."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig13_gnn_bicgstab
+from repro.hw import AcceleratorConfig
+
+
+def test_fig13_gnn_bicgstab(benchmark):
+    cfg = AcceleratorConfig()
+    panels = run_once(benchmark, fig13_gnn_bicgstab.run, cfg)
+    for p in panels:
+        cello = p.results["CELLO"]
+        flat = p.results["FLAT"]
+        flex = p.results["Flexagon"]
+        if p.family == "gnn":
+            # Paper: CELLO achieves the same performance as FLAT on GNNs.
+            assert cello.dram_bytes <= flat.dram_bytes
+            assert cello.dram_bytes >= 0.9 * flat.dram_bytes
+            assert flat.dram_bytes < flex.dram_bytes
+        else:  # bicgstab: same ordering as CG
+            assert cello.dram_bytes < flex.dram_bytes
+            assert flat.dram_bytes == flex.dram_bytes
+    write_report("fig13_gnn_bicgstab", fig13_gnn_bicgstab.report(cfg))

@@ -1,0 +1,20 @@
+"""Fig. 14: off-chip energy relative to the explicit best-intra baseline."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig14_energy
+from repro.hw import AcceleratorConfig
+
+
+def test_fig14_energy(benchmark):
+    cfg = AcceleratorConfig()
+    rows = run_once(benchmark, fig14_energy.run, cfg)
+    for r in rows:
+        # CELLO has the lowest energy for each workload family.
+        assert r.relative["CELLO"] == min(r.relative.values())
+        assert r.relative["Flexagon"] == 1.0
+    lo, hi = fig14_energy.cello_reduction_range(rows)
+    # Paper: 64% to 83% reduction.  Our band must overlap substantially.
+    assert hi > 50.0
+    assert lo > 15.0
+    write_report("fig14_energy", fig14_energy.report(cfg))

@@ -1,0 +1,21 @@
+"""Fig. 15: area and per-access energy of 4MB buffet / cache / CHORD."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig15_area_energy
+from repro.hw import AcceleratorConfig
+from repro.hw.sram_model import chord_metadata_ratio
+
+
+def test_fig15_area_energy(benchmark):
+    cfg = AcceleratorConfig()
+    costs = run_once(benchmark, fig15_area_energy.run, cfg)
+    # Paper endpoints: buffet 6.72, cache 9.87, CHORD 6.74 mm^2.
+    assert abs(costs["buffet"].total_mm2 - 6.72) / 6.72 < 0.02
+    assert abs(costs["cache"].total_mm2 - 9.87) / 9.87 < 0.02
+    assert abs(costs["chord"].total_mm2 - 6.74) / 6.74 < 0.02
+    # Per-access energy: cache far above buffet/CHORD (tag probes).
+    assert costs["cache"].energy_pj_per_access > 1.5 * costs["chord"].energy_pj_per_access
+    # RIFF table ~0.01x cache tags.
+    assert chord_metadata_ratio(cfg) < 0.02
+    write_report("fig15_area_energy", fig15_area_energy.report(cfg))

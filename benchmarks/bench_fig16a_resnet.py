@@ -1,0 +1,24 @@
+"""Fig. 16(a): ResNet residual block with the SET baseline."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig16a_resnet
+from repro.hw import AcceleratorConfig
+
+
+def test_fig16a_resnet(benchmark):
+    cfg = AcceleratorConfig()
+    panels = run_once(benchmark, fig16a_resnet.run, cfg)
+    fast = max(panels, key=lambda p: p.bandwidth)
+    slow = min(panels, key=lambda p: p.bandwidth)
+    # SET == CELLO on ResNet (delayed hold is all it takes).
+    assert fast.results["SET"].dram_bytes == fast.results["CELLO"].dram_bytes
+    # FLAT misses the skip connection; Flexagon is worst.
+    assert fast.results["FLAT"].dram_bytes > fast.results["SET"].dram_bytes
+    assert fast.results["Flexagon"].dram_bytes > fast.results["FLAT"].dram_bytes
+    # At 1 TB/s ResNet is compute bound: pipelined configs tie on time.
+    assert abs(fast.results["CELLO"].time_s - fast.results["FLAT"].time_s) < 1e-12
+    assert not fast.results["CELLO"].memory_bound
+    # At 250 GB/s the ridge moves: op-by-op drops below the pipelined configs.
+    assert slow.results["Flexagon"].time_s > slow.results["CELLO"].time_s
+    write_report("fig16a_resnet", fig16a_resnet.report(cfg))

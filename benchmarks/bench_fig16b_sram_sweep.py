@@ -1,0 +1,27 @@
+"""Fig. 16(b): CELLO vs CHORD capacity (1/4/16 MB), CG shallow_water1."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig16b_sram_sweep
+from repro.hw import AcceleratorConfig
+
+
+def test_fig16b_sram_sweep(benchmark):
+    cfg = AcceleratorConfig()
+    points = run_once(benchmark, fig16b_sram_sweep.run, cfg)
+    by_n = {}
+    for p in points:
+        by_n.setdefault(p.n, []).append((p.sram_bytes, p.result.dram_bytes))
+    for n, series in by_n.items():
+        series.sort()
+        traffic = [t for _, t in series]
+        # Monotone: bigger CHORD never hurts.
+        assert traffic == sorted(traffic, reverse=True)
+        # Capacity genuinely matters on this workload.
+        assert traffic[0] > traffic[-1]
+    # N=16 keeps paying through 16MB more than N=1 does (relative gap).
+    gap = lambda t: t[0] / t[-1]
+    n1 = [t for _, t in sorted(by_n[1])]
+    n16 = [t for _, t in sorted(by_n[16])]
+    assert gap(n1) > 1.0 and gap(n16) > 1.0
+    write_report("fig16b_sram_sweep", fig16b_sram_sweep.report(cfg))

@@ -1,0 +1,24 @@
+"""Fig. 16(c): PRELUDE-only vs Flexagon / FLAT / CELLO on CG."""
+
+from conftest import run_once, write_report
+
+from repro.experiments import fig16c_prelude_only
+from repro.hw import AcceleratorConfig
+
+
+def test_fig16c_prelude_only(benchmark):
+    cfg = AcceleratorConfig()
+    panels = run_once(benchmark, fig16c_prelude_only.run, cfg)
+    pos = {}
+    for p in panels:
+        flex = p.results["Flexagon"].dram_bytes
+        pre = p.results["PRELUDE-only"].dram_bytes
+        cello = p.results["CELLO"].dram_bytes
+        # PRELUDE-only beats the explicit baselines (writeback support
+        # matters more than pipelining on CG) but trails CELLO (RIFF).
+        assert cello <= pre <= flex
+        assert p.results["FLAT"].dram_bytes == flex
+        pos[p.n] = p.gap_position()
+    # Closer to CELLO at N=1, closer to the baselines at N=16.
+    assert pos[1] > pos[16]
+    write_report("fig16c_prelude_only", fig16c_prelude_only.report(cfg))

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure: it runs the experiment
+once (``benchmark.pedantic(rounds=1)`` — these are simulations, not
+microkernels), asserts the paper's qualitative shape, and writes the
+text report to ``benchmarks/out/<name>.txt`` so the regenerated figures
+survive as artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

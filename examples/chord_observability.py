@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""CHORD observability: occupancy timeline and per-tensor traffic audit.
+
+Runs CELLO on a capacity-pressured CG problem and renders what the buffer
+actually did: how full it stayed, which tensors hit, which spilled, which
+were written back — the view a performance engineer would pull from the
+real hardware's counters.
+
+Run:  python examples/chord_observability.py
+"""
+
+from repro.chord import render_occupancy, traffic_audit
+from repro.hw import AcceleratorConfig
+from repro.score import Score
+from repro.sim import ScheduleEngine
+from repro.sim.cluster_timing import describe_clusters
+from repro.workloads import SHALLOW_WATER1, cg_workload
+
+
+def main() -> None:
+    cfg = AcceleratorConfig()
+    w = cg_workload(SHALLOW_WATER1, n=16, iterations=10)
+    dag = w.build()
+    print(f"workload: {w.description}")
+
+    schedule = Score(cfg).schedule(dag)
+    engine = ScheduleEngine(cfg)
+    result = engine.run(schedule, workload_name=w.name)
+    chord = engine.last_chord
+    assert chord is not None
+
+    print(
+        f"\nDRAM traffic {result.dram_bytes / 1e6:.1f} MB, "
+        f"CHORD hit rate {chord.stats.hit_rate * 100:.1f}% "
+        f"({chord.stats.hits / 1e6:.1f} MB hits / "
+        f"{chord.stats.misses / 1e6:.1f} MB misses)"
+    )
+
+    print("\n" + render_occupancy(chord, width=64, height=10))
+    print("\n" + traffic_audit(chord, top=12))
+    print("\n" + describe_clusters(schedule, cfg))
+    print(
+        "\nReading the audit: the skewed P/X tensors with iteration-distance "
+        "reuse miss under\ncapacity pressure (RIFF deprioritises them), while "
+        "S and R — reused within the\niteration — stay resident; exactly the "
+        "policy behaviour Sec. VI-A describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: classify a CG DAG, schedule it with SCORE, and compare
+CELLO against the Table IV baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import run_workload_config
+from repro.core import DependencyType, classify_dependencies
+from repro.hw import AcceleratorConfig
+from repro.workloads import FV1, cg_workload
+
+
+def main() -> None:
+    cfg = AcceleratorConfig()  # Table V defaults: 4MB SRAM, 16384 MACs, 1TB/s
+    print(cfg.describe())
+
+    # 1. Build the block-CG tensor dependency DAG (Algorithm 1, Fig. 1).
+    workload = cg_workload(FV1, n=16, iterations=10)
+    dag = workload.build()
+    print(f"\nWorkload: {workload.description}")
+    print(f"DAG: {len(dag)} ops, {len(dag.tensors)} tensors")
+
+    # 2. Classify tensor-level dependencies (Algorithm 2).
+    classified = classify_dependencies(dag)
+    summary = classified.summary()
+    print("\nDependency classes (Algorithm 2):")
+    for dep in DependencyType:
+        print(f"  {dep.value:18s} {summary[dep.value]:4d} edges")
+    print(
+        "  -> S and R pipeline into their Gram consumers but ALSO have "
+        "delayed-writeback\n     consumers, which only CHORD can serve on-chip."
+    )
+
+    # 3. Run every configuration and compare.
+    configs = ("Flexagon", "FLAT", "SET", "PRELUDE-only", "CELLO")
+    print(f"\n{'config':14s} {'DRAM MB':>10s} {'time us':>10s} {'GMAC/s':>10s} {'speedup':>8s}")
+    results = {c: run_workload_config(workload, c, cfg) for c in configs}
+    base = results["Flexagon"]
+    for c in configs:
+        r = results[c]
+        print(
+            f"{c:14s} {r.dram_bytes / 1e6:10.2f} {r.time_s * 1e6:10.2f} "
+            f"{r.throughput_gmacs:10.1f} {r.speedup_over(base):7.2f}x"
+        )
+
+    cello = results["CELLO"]
+    print(
+        f"\nCELLO eliminates {100 * cello.dram_reduction_vs(base):.0f}% of DRAM "
+        f"traffic vs the best op-by-op schedule\n(paper Fig. 14: 64-83% across "
+        "workloads), lifting effective intensity from "
+        f"{base.effective_intensity:.2f} to {cello.effective_intensity:.2f} ops/byte."
+    )
+
+
+if __name__ == "__main__":
+    main()

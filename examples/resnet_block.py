@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""ResNet conv3_x residual block: the delayed-hold dependency (Fig. 16a).
+
+The skip connection's tensor rides the pipeline buffer as *held* tiles
+until the residual add consumes it — the capability SET shares with CELLO
+and FLAT lacks.  Shows classification, SCORE's realized holds, and the
+resulting traffic/performance at both bandwidth points.
+
+Run:  python examples/resnet_block.py
+"""
+
+from repro.baselines import run_workload_config
+from repro.core import DependencyType, classify_dependencies
+from repro.hw import AcceleratorConfig, GB
+from repro.score import Score
+from repro.workloads import ResNetBlockProblem, build_resnet_block_dag, resnet_workload
+
+
+def main() -> None:
+    problem = ResNetBlockProblem()
+    dag = build_resnet_block_dag(problem)
+    print(
+        f"conv3_x bottleneck block: {problem.spatial}x{problem.spatial} maps, "
+        f"{problem.block_channels}/{problem.bottleneck_channels} channels, "
+        f"{problem.word_bytes * 8}-bit words"
+    )
+
+    classified = classify_dependencies(dag)
+    skip = classified.dependency[("pre:conv", "add:residual@0", "T0@0")]
+    print(f"skip-connection edge: {skip.value}")
+    assert skip is DependencyType.DELAYED_HOLD
+
+    cfg = AcceleratorConfig()
+    schedule = Score(cfg).schedule(dag)
+    print(f"realized pipelines: {schedule.n_pipelined_edges}, holds: {schedule.n_held_edges}")
+    hold = next(iter(schedule.holds.values()))
+    print(
+        f"hold window: {hold.depth} intervening stages, "
+        f"{hold.window_bytes / 1024:.0f} KB of pipeline buffer"
+    )
+
+    configs = ("Flexagon", "FLAT", "SET", "CELLO")
+    w = resnet_workload(problem)
+    for bw in (1000 * GB, 250 * GB):
+        c = cfg.with_bandwidth(bw)
+        print(f"\n--- {bw / GB:.0f} GB/s ---")
+        print(f"{'config':10s} {'DRAM MB':>9s} {'time us':>9s} {'bound':>8s}")
+        for name in configs:
+            r = run_workload_config(w, name, c)
+            bound = "memory" if r.memory_bound else "compute"
+            print(
+                f"{name:10s} {r.dram_bytes / 1e6:9.3f} {r.time_s * 1e6:9.2f} {bound:>8s}"
+            )
+    print(
+        "\nAt 1 TB/s everything is compute bound (equal time); at 250 GB/s the "
+        "op-by-op baseline\ngoes memory bound while SET == CELLO stay on the "
+        "compute roof (paper Fig. 16a)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Analysis helpers: report rendering, capability tables, roofline."""
+
+from .report import render_kv, render_table
+from .tables import (
+    BUFFER_ROWS,
+    SCHEDULER_ROWS,
+    BufferCapabilities,
+    SchedulerCapabilities,
+    buffer_capability_table,
+    config_capabilities,
+    scheduler_capability_table,
+)
+from .scaling import (
+    ScalingPoint,
+    noc_seconds_per_run,
+    scaling_report,
+    simulate_cg_scaling,
+)
+from .roofline import (
+    REGULAR_GEMM,
+    SKEWED_GEMM,
+    GemmPoint,
+    gemm_roofline_rows,
+    result_on_roofline,
+    roofline_for,
+)
+
+__all__ = [
+    "render_kv",
+    "render_table",
+    "BUFFER_ROWS",
+    "SCHEDULER_ROWS",
+    "BufferCapabilities",
+    "SchedulerCapabilities",
+    "buffer_capability_table",
+    "config_capabilities",
+    "scheduler_capability_table",
+    "REGULAR_GEMM",
+    "SKEWED_GEMM",
+    "GemmPoint",
+    "gemm_roofline_rows",
+    "result_on_roofline",
+    "roofline_for",
+    "ScalingPoint",
+    "noc_seconds_per_run",
+    "scaling_report",
+    "simulate_cg_scaling",
+]

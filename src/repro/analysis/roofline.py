@@ -1,0 +1,67 @@
+"""Roofline analysis helpers (Fig. 2 and the Fig. 12 roofline panel)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.intensity import Roofline, best_arithmetic_intensity
+from ..hw.config import AcceleratorConfig
+from ..sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class GemmPoint:
+    """One GEMM plotted on the roofline (Fig. 2)."""
+
+    label: str
+    m: int
+    k: int
+    n: int
+    word_bytes: int = 4
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def intensity(self) -> float:
+        return best_arithmetic_intensity(self.m, self.k, self.n, self.word_bytes)
+
+
+#: Fig. 2's two running examples: same multiplication count, wildly
+#: different intensity.
+REGULAR_GEMM = GemmPoint("regular 512x512x512", 512, 512, 512)
+SKEWED_GEMM = GemmPoint("skewed 524288x16x16", 524288, 16, 16)
+
+
+def roofline_for(cfg: AcceleratorConfig) -> Roofline:
+    return Roofline(
+        peak_ops_per_s=cfg.peak_macs_per_s,
+        bandwidth_bytes_per_s=cfg.dram_bandwidth_bytes_per_s,
+    )
+
+
+def gemm_roofline_rows(
+    cfg: AcceleratorConfig,
+    points: Sequence[GemmPoint] = (REGULAR_GEMM, SKEWED_GEMM),
+) -> Tuple[Tuple[str, float, float, bool], ...]:
+    """(label, intensity ops/B, attainable GMAC/s, memory-bound) per GEMM."""
+    rl = roofline_for(cfg)
+    return tuple(
+        (
+            p.label,
+            p.intensity,
+            rl.attainable(p.intensity) / 1e9,
+            rl.is_memory_bound(p.intensity),
+        )
+        for p in points
+    )
+
+
+def result_on_roofline(result: SimResult, cfg: AcceleratorConfig) -> Tuple[float, float]:
+    """(achieved intensity, attainable GMAC/s) of a simulation result —
+    the Fig. 12 roofline panel places each configuration this way."""
+    rl = roofline_for(cfg)
+    ai = result.effective_intensity
+    return ai, rl.attainable(ai) / 1e9 if ai != float("inf") else cfg.peak_macs_per_s / 1e9

@@ -1,0 +1,120 @@
+"""Multi-node scaling simulation (extends Fig. 8's analytical argument).
+
+SCORE's scalable dataflow splits the dominant rank across nodes: each node
+owns an M/nodes slab of every skewed tensor (and its rows of A), runs the
+whole CG iteration locally, and exchanges only the small N×N' tensors —
+partial Grams reduce, Λ/Φ broadcast.  This module simulates that plan
+end-to-end: per-node CELLO execution on the slab + NoC transfer time, and
+reports strong-scaling efficiency, which stays high precisely because the
+NoC payload is independent of M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..baselines.cello import run_cello
+from ..hw.config import AcceleratorConfig
+from ..hw.noc import NocConfig
+from ..workloads.cg import CgProblem, build_cg_dag
+from ..workloads.matrices import MatrixSpec
+
+#: Per-hop NoC bandwidth relative to DRAM bandwidth (links are typically
+#: provisioned at a fraction of the memory system).
+NOC_LINK_FRACTION = 0.5
+
+#: Gram reductions (lines 2a, 5) and small-tensor broadcasts (Λ, Φ) per CG
+#: iteration — the tensors that actually cross the NoC.
+GRAMS_PER_ITER = 2
+BROADCASTS_PER_ITER = 2
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node count of the strong-scaling sweep."""
+
+    n_nodes: int
+    per_node_time_s: float
+    noc_time_s: float
+    total_time_s: float
+    speedup: float
+    efficiency: float
+
+
+def _slab_spec(matrix: MatrixSpec, n_nodes: int) -> MatrixSpec:
+    """One node's row slab of the sparse matrix (rows and nnz split)."""
+    return MatrixSpec(
+        name=f"{matrix.name}/slab{n_nodes}",
+        m=max(1, matrix.m // n_nodes),
+        nnz=max(1, matrix.nnz // n_nodes),
+        description=f"1/{n_nodes} row slab of {matrix.name}",
+    )
+
+
+def noc_seconds_per_run(n: int, iterations: int, noc: NocConfig,
+                        cfg: AcceleratorConfig, word_bytes: int = 4) -> float:
+    """Time spent moving small tensors across the mesh for a whole run."""
+    words_per_iter = (
+        GRAMS_PER_ITER * n * n * noc.reduce_hops
+        + BROADCASTS_PER_ITER * n * n * noc.broadcast_hops
+    )
+    bytes_total = words_per_iter * word_bytes * iterations
+    link_bw = cfg.dram_bandwidth_bytes_per_s * NOC_LINK_FRACTION
+    return bytes_total / link_bw
+
+
+def simulate_cg_scaling(
+    matrix: MatrixSpec,
+    n: int,
+    iterations: int,
+    node_counts: Sequence[int],
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+) -> Tuple[ScalingPoint, ...]:
+    """Strong-scale one CG problem across ``node_counts`` nodes."""
+    if 1 not in node_counts:
+        node_counts = (1, *node_counts)
+    baseline_time = None
+    points = []
+    for nodes in sorted(set(node_counts)):
+        noc = NocConfig(n_nodes=nodes)
+        slab = _slab_spec(matrix, nodes)
+        dag = build_cg_dag(CgProblem(matrix=slab, n=n, iterations=iterations))
+        local = run_cello(dag, cfg, workload_name=f"cg/{slab.name}")
+        noc_t = 0.0 if nodes == 1 else noc_seconds_per_run(
+            n, iterations, noc, cfg
+        )
+        total = local.time_s + noc_t
+        if baseline_time is None:
+            baseline_time = total
+        speedup = baseline_time / total
+        points.append(ScalingPoint(
+            n_nodes=nodes,
+            per_node_time_s=local.time_s,
+            noc_time_s=noc_t,
+            total_time_s=total,
+            speedup=speedup,
+            efficiency=speedup / nodes,
+        ))
+    return tuple(points)
+
+
+def scaling_report(points: Sequence[ScalingPoint], title: str = "") -> str:
+    from .report import render_table
+
+    rows = [
+        [
+            p.n_nodes,
+            p.per_node_time_s * 1e6,
+            p.noc_time_s * 1e6,
+            p.total_time_s * 1e6,
+            p.speedup,
+            p.efficiency,
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["nodes", "node us", "NoC us", "total us", "speedup", "efficiency"],
+        rows,
+        title=title or "Multi-node strong scaling (dominant-rank split)",
+    )

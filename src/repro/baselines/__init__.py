@@ -1,0 +1,37 @@
+"""Table IV baseline accelerator configurations and the batch runner."""
+
+from .configs import (
+    EXTRA_CONFIGS,
+    MAIN_CONFIGS,
+    TABLE_IV,
+    ConfigSpec,
+    config_names,
+    run_config,
+)
+from .flexagon import oracle_traffic, run_flexagon
+from .flat import covered_tensors, flat_schedule, run_flat
+from .set_sched import run_set, set_schedule
+from .cello import cello_schedule, run_cello, run_prelude_only
+from .runner import clear_cache, run_matrix, run_workload_config
+
+__all__ = [
+    "EXTRA_CONFIGS",
+    "MAIN_CONFIGS",
+    "TABLE_IV",
+    "ConfigSpec",
+    "config_names",
+    "run_config",
+    "oracle_traffic",
+    "run_flexagon",
+    "covered_tensors",
+    "flat_schedule",
+    "run_flat",
+    "run_set",
+    "set_schedule",
+    "cello_schedule",
+    "run_cello",
+    "run_prelude_only",
+    "clear_cache",
+    "run_matrix",
+    "run_workload_config",
+]

@@ -1,0 +1,53 @@
+"""CELLO (this work) and the PRELUDE-only additional study.
+
+CELLO = SCORE schedule (pipelining + holds + swizzle minimization) executed
+against CHORD (PRELUDE + RIFF) with explicit retirement — the full
+co-design.  PRELUDE-only (Fig. 16c) keeps the best-intra-op schedule (no
+pipelining) and an SRAM with PRELUDE as the only policy: no RIFF
+replacement, so a squatting tensor can lock out sooner-reused ones.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import TensorDag
+from ..hw.config import AcceleratorConfig
+from ..score.scheduler import Score, ScoreOptions
+from ..score.schedule_ir import Schedule
+from ..sim.engine import EngineOptions, ScheduleEngine
+from ..sim.results import SimResult
+
+
+def cello_schedule(dag: TensorDag, cfg: AcceleratorConfig) -> Schedule:
+    """The full SCORE schedule."""
+    return Score(cfg, ScoreOptions()).schedule(dag)
+
+
+def run_cello(
+    dag: TensorDag,
+    cfg: AcceleratorConfig,
+    workload_name: str = "workload",
+    options: EngineOptions = EngineOptions(),
+) -> SimResult:
+    """Simulate CELLO (SCORE + CHORD)."""
+    schedule = cello_schedule(dag, cfg)
+    engine = ScheduleEngine(cfg, options)
+    return engine.run(schedule, config_name="CELLO", workload_name=workload_name)
+
+
+def run_prelude_only(
+    dag: TensorDag,
+    cfg: AcceleratorConfig,
+    workload_name: str = "workload",
+) -> SimResult:
+    """Simulate the PRELUDE-only configuration (Sec. VII-C3).
+
+    Best-intra-op schedule (pipelining and holds off — "we turn off all
+    other optimizations") with a PRELUDE-managed SRAM (RIFF off).
+    """
+    schedule = Score(
+        cfg, ScoreOptions(enable_pipelining=False, enable_holds=False)
+    ).schedule(dag)
+    engine = ScheduleEngine(cfg, EngineOptions(use_riff=False))
+    result = engine.run(schedule, config_name="PRELUDE-only",
+                        workload_name=workload_name)
+    return result

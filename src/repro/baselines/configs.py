@@ -1,0 +1,95 @@
+"""Table IV: the evaluated schedule × buffer configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..buffers.brrip import BrripPolicy
+from ..buffers.lru import LruPolicy
+from ..core.dag import TensorDag
+from ..hw.config import AcceleratorConfig
+from ..sim.engine import CacheEngine
+from ..sim.results import SimResult
+from .cello import run_cello, run_prelude_only
+from .flat import run_flat
+from .flexagon import run_flexagon
+from .set_sched import run_set
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One Table IV row: a named schedule + buffer-hierarchy combination."""
+
+    name: str
+    schedule: str
+    buffer: str
+    description: str
+
+
+TABLE_IV: Tuple[ConfigSpec, ...] = (
+    ConfigSpec(
+        "Flexagon", "best intra-layer", "explicit",
+        "Oracle op-by-op dataflow; all ops begin and end in DRAM.",
+    ),
+    ConfigSpec(
+        "Flex+LRU", "best intra-layer", "LRU cache",
+        "All accesses through an implicitly-managed LRU cache.",
+    ),
+    ConfigSpec(
+        "Flex+BRRIP", "best intra-layer", "BRRIP cache",
+        "All accesses through an implicitly-managed BRRIP cache.",
+    ),
+    ConfigSpec(
+        "FLAT", "pipelining", "explicit",
+        "Oracle pipelined dataflow between adjacent ops (no delayed reuse).",
+    ),
+    ConfigSpec(
+        "SET", "pipelining + delayed hold", "explicit",
+        "Adds delayed-hold support (ResNet skip connections).",
+    ),
+    ConfigSpec(
+        "PRELUDE-only", "best intra-layer", "PRELUDE SRAM",
+        "PRELUDE fill/spill with no RIFF replacement (Sec. VII-C3).",
+    ),
+    ConfigSpec(
+        "CELLO", "SCORE", "CHORD",
+        "This work: SCORE schedule over PRELUDE + RIFF hybrid buffer.",
+    ),
+)
+
+#: The configurations in the main comparison (Figs. 12-14).
+MAIN_CONFIGS: Tuple[str, ...] = ("Flexagon", "Flex+LRU", "Flex+BRRIP", "FLAT", "CELLO")
+#: Extra configurations for the additional studies (Fig. 16).
+EXTRA_CONFIGS: Tuple[str, ...] = ("SET", "PRELUDE-only")
+
+
+def config_names() -> Tuple[str, ...]:
+    return tuple(c.name for c in TABLE_IV)
+
+
+def run_config(
+    name: str,
+    dag: TensorDag,
+    cfg: AcceleratorConfig,
+    workload_name: str = "workload",
+    cache_granularity: int | None = None,
+) -> SimResult:
+    """Run one named Table IV configuration on ``dag``."""
+    if name == "Flexagon":
+        return run_flexagon(dag, cfg, workload_name)
+    if name == "Flex+LRU":
+        eng = CacheEngine(cfg, LruPolicy(), granularity=cache_granularity)
+        return eng.run(dag, config_name="Flex+LRU", workload_name=workload_name)
+    if name == "Flex+BRRIP":
+        eng = CacheEngine(cfg, BrripPolicy(), granularity=cache_granularity)
+        return eng.run(dag, config_name="Flex+BRRIP", workload_name=workload_name)
+    if name == "FLAT":
+        return run_flat(dag, cfg, workload_name)
+    if name == "SET":
+        return run_set(dag, cfg, workload_name)
+    if name == "PRELUDE-only":
+        return run_prelude_only(dag, cfg, workload_name)
+    if name == "CELLO":
+        return run_cello(dag, cfg, workload_name)
+    raise KeyError(f"unknown configuration {name!r}; known: {config_names()}")

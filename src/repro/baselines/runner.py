@@ -1,0 +1,83 @@
+"""Batch runner with memoisation.
+
+Experiments sweep (workload × config × bandwidth); DRAM traffic is
+bandwidth-independent, so the runner simulates traffic once per
+(workload, config, SRAM size) and re-times it per bandwidth point — the
+same shortcut the roofline model licenses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..sim.perf import make_result
+from ..sim.results import SimResult
+from ..workloads.registry import Workload
+from .configs import MAIN_CONFIGS, run_config
+
+_CACHE: Dict[Tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def _traffic_key(config: str, workload: Workload, cfg: AcceleratorConfig,
+                 cache_granularity: Optional[int]) -> Tuple:
+    return (
+        config,
+        workload.name,
+        cfg.sram_bytes,
+        cfg.line_bytes,
+        cfg.cache_associativity,
+        cfg.chord_entries,
+        cfg.pipeline_fraction,
+        cfg.rf_bytes,
+        cache_granularity,
+    )
+
+
+def run_workload_config(
+    workload: Workload,
+    config: str,
+    cfg: AcceleratorConfig,
+    cache_granularity: Optional[int] = None,
+) -> SimResult:
+    """Run (memoised on traffic) and time under ``cfg``'s bandwidth."""
+    key = _traffic_key(config, workload, cfg, cache_granularity)
+    base = _CACHE.get(key)
+    if base is None:
+        dag = workload.build()
+        base = run_config(
+            config, dag, cfg,
+            workload_name=workload.name,
+            cache_granularity=cache_granularity,
+        )
+        _CACHE[key] = base
+    # Re-time for this bandwidth (traffic is bandwidth-independent).
+    return make_result(
+        config=base.config,
+        workload=base.workload,
+        total_macs=base.total_macs,
+        dram_read_bytes=base.dram_read_bytes,
+        dram_write_bytes=base.dram_write_bytes,
+        cfg=cfg,
+        onchip_accesses=base.onchip_accesses,
+    )
+
+
+def run_matrix(
+    workloads: Sequence[Workload],
+    configs: Sequence[str] = MAIN_CONFIGS,
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cache_granularity: Optional[int] = None,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Run every (workload, config) pair: result[workload][config]."""
+    out: Dict[str, Dict[str, SimResult]] = {}
+    for w in workloads:
+        out[w.name] = {
+            c: run_workload_config(w, c, cfg, cache_granularity=cache_granularity)
+            for c in configs
+        }
+    return out

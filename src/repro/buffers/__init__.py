@@ -1,0 +1,34 @@
+"""On-chip buffer mechanisms — Table III's comparison set, executable:
+set-associative cache (LRU/SRRIP/BRRIP policies), explicit scratchpad,
+credit-based buffet, Tailors-style overbooking buffer, pipeline buffer
+with hold slots, and register file."""
+
+from .base import AccessType, BufferStats
+from .cache import ReplacementPolicy, SetAssociativeCache
+from .lru import LruPolicy
+from .brrip import BrripPolicy
+from .srrip import SrripPolicy
+from .tailors import TailorsBuffer
+from .scratchpad import AllocationError, Scratchpad
+from .buffet import Buffet, BuffetError
+from .pipeline_buffer import PipelineBuffer, PipelineBufferError
+from .register_file import RegisterFile, RegisterFileError
+
+__all__ = [
+    "AccessType",
+    "BufferStats",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "LruPolicy",
+    "BrripPolicy",
+    "SrripPolicy",
+    "TailorsBuffer",
+    "AllocationError",
+    "Scratchpad",
+    "Buffet",
+    "BuffetError",
+    "PipelineBuffer",
+    "PipelineBufferError",
+    "RegisterFile",
+    "RegisterFileError",
+]

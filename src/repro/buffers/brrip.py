@@ -1,0 +1,63 @@
+"""Bimodal Re-Reference Interval Prediction (BRRIP) replacement.
+
+Jaleel et al., ISCA 2010 [19].  Each way holds an RRPV (re-reference
+prediction value) in [0, 2^bits - 1]:
+
+* fill: RRPV = max (distant) with high probability, max-1 (long) with low
+  probability ``1/bimodal_throttle`` — this is the *bimodal* insertion that
+  resists scanning;
+* hit: RRPV = 0 (near-immediate re-reference, hit promotion);
+* victim: first way with RRPV == max, ageing all ways (+1) until one
+  appears.
+
+The throttle uses a deterministic counter rather than an RNG so simulations
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class _BrripSet:
+    rrpv: List[int]
+
+
+class BrripPolicy:
+    """BRRIP with ``bits``-wide RRPVs and 1/``bimodal_throttle`` long-RRPV
+    insertions."""
+
+    name = "brrip"
+
+    def __init__(self, bits: int = 2, bimodal_throttle: int = 32) -> None:
+        if bits < 1:
+            raise ValueError("rrpv bits must be >= 1")
+        if bimodal_throttle < 1:
+            raise ValueError("bimodal_throttle must be >= 1")
+        self.max_rrpv = (1 << bits) - 1
+        self.throttle = bimodal_throttle
+        self._fill_counter = 0
+
+    def make_set_state(self, assoc: int) -> _BrripSet:
+        return _BrripSet(rrpv=[self.max_rrpv] * assoc)
+
+    def on_hit(self, state: _BrripSet, way: int) -> None:
+        state.rrpv[way] = 0
+
+    def choose_victim(self, state: _BrripSet) -> int:
+        rrpv = state.rrpv
+        while True:
+            for w, v in enumerate(rrpv):
+                if v >= self.max_rrpv:
+                    return w
+            for w in range(len(rrpv)):
+                rrpv[w] += 1
+
+    def on_fill(self, state: _BrripSet, way: int) -> None:
+        self._fill_counter += 1
+        if self._fill_counter % self.throttle == 0:
+            state.rrpv[way] = self.max_rrpv - 1  # rare "long" insertion
+        else:
+            state.rrpv[way] = self.max_rrpv      # common "distant" insertion

@@ -1,0 +1,140 @@
+"""Set-associative cache simulator with pluggable replacement policies.
+
+This models the paper's Flex+LRU and Flex+BRRIP baselines: *every* access of
+the best-intra-op schedule goes through an implicitly managed cache
+(write-allocate, write-back).  The simulator is exact at line granularity; a
+``granularity`` knob in the trace layer lets multi-gigabyte streaming traces
+coarsen g lines into one block while scaling the set count by 1/g, which
+preserves streaming/capacity behaviour (validated in tests).
+
+Replacement policies implement per-set state: :class:`LruPolicy` and
+:class:`BrripPolicy` live in sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from .base import BufferStats
+
+
+class ReplacementPolicy(Protocol):
+    """Per-set replacement state machine.
+
+    The cache owns the tag/dirty arrays; a policy only maintains per-set
+    recency state over way indices: ``on_hit`` records a re-reference,
+    ``choose_victim`` picks the way to replace, ``on_fill`` records an
+    insertion.
+    """
+
+    def make_set_state(self, assoc: int) -> object: ...
+
+    def on_hit(self, state: object, way: int) -> None: ...
+
+    def choose_victim(self, state: object) -> int: ...
+
+    def on_fill(self, state: object, way: int) -> None: ...
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache.
+
+    Parameters
+    ----------
+    capacity_bytes / line_bytes / associativity:
+        Geometry; ``capacity = sets * associativity * line_bytes``.
+    policy:
+        A :class:`ReplacementPolicy` instance (LRU, BRRIP, ...).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int,
+        associativity: int,
+        policy: ReplacementPolicy,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = capacity_bytes // line_bytes
+        if n_lines == 0 or n_lines % associativity:
+            raise ValueError(
+                f"capacity {capacity_bytes}B / line {line_bytes}B must be a "
+                f"multiple of associativity {associativity}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.assoc = associativity
+        self.n_sets = n_lines // associativity
+        self.policy = policy
+        self.stats = BufferStats()
+        # Per-set parallel arrays: tags, valid, dirty.
+        self._tags = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self._dirty = np.zeros((self.n_sets, self.assoc), dtype=bool)
+        self._pol_state: List[object] = [policy.make_set_state(self.assoc) for _ in range(self.n_sets)]
+
+    # -- single access ----------------------------------------------------------
+
+    def access_line(self, block: int, is_write: bool) -> bool:
+        """Access one line-aligned block address; returns hit/miss.
+
+        ``block`` is the address divided by ``line_bytes``.
+        """
+        set_idx = block % self.n_sets
+        tag = block // self.n_sets
+        tags = self._tags[set_idx]
+        state = self._pol_state[set_idx]
+        self.stats.accesses += 1
+        hit_ways = np.nonzero(tags == tag)[0]
+        if hit_ways.size:
+            way = int(hit_ways[0])
+            self.stats.hits += 1
+            self.policy.on_hit(state, way)
+            if is_write:
+                self._dirty[set_idx, way] = True
+            return True
+        # Miss: allocate (write-allocate for writes too).  Invalid ways are
+        # filled before the replacement policy is consulted.
+        self.stats.misses += 1
+        self.stats.dram_read_bytes += self.line_bytes
+        invalid = np.nonzero(tags == -1)[0]
+        if invalid.size:
+            victim = int(invalid[0])
+        else:
+            victim = self.policy.choose_victim(state)
+            self.stats.evictions += 1
+            if self._dirty[set_idx, victim]:
+                self.stats.writebacks += 1
+                self.stats.dram_write_bytes += self.line_bytes
+        tags[victim] = tag
+        self._dirty[set_idx, victim] = is_write
+        self.policy.on_fill(state, victim)
+        return False
+
+    # -- streams ------------------------------------------------------------------
+
+    def access_stream(self, blocks: Sequence[int], is_write: bool) -> None:
+        """Access a sequence of block addresses with one read/write flavour."""
+        for b in blocks:
+            self.access_line(int(b), is_write)
+
+    def access_range(self, start_byte: int, n_bytes: int, is_write: bool) -> None:
+        """Stream all lines overlapping byte range [start, start+n)."""
+        if n_bytes <= 0:
+            return
+        first = start_byte // self.line_bytes
+        last = (start_byte + n_bytes - 1) // self.line_bytes
+        for b in range(first, last + 1):
+            self.access_line(b, is_write)
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-program drain)."""
+        dirty_count = int(self._dirty.sum())
+        self.stats.writebacks += dirty_count
+        self.stats.dram_write_bytes += dirty_count * self.line_bytes
+        self._dirty[:] = False
+
+    def resident_lines(self) -> int:
+        return int((self._tags != -1).sum())

@@ -1,0 +1,34 @@
+"""Least-recently-used replacement policy.
+
+The classic implicit policy the paper contrasts CHORD against (Fig. 11
+leftmost column): every hit promotes a line to most-recently-used, every
+fill victimises the least-recently-used way.  For tensor streaming this
+keeps the *tail* of a scanned tensor — exactly the part re-referenced last —
+which is the pathology PRELUDE inverts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LruPolicy:
+    """Per-set LRU recency stack over way indices."""
+
+    name = "lru"
+
+    def make_set_state(self, assoc: int) -> List[int]:
+        # Recency stack: index 0 = LRU, last = MRU.  Starts in way order so
+        # cold fills walk the ways deterministically.
+        return list(range(assoc))
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def choose_victim(self, state: List[int]) -> int:
+        return state[0]
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)

@@ -1,0 +1,110 @@
+"""Explicit pipeline buffer with hold slots (Sec. IV, Fig. 6).
+
+The pipeline buffer stages producer tiles for an adjacent consumer
+(double-buffered: produce into one half while the consumer drains the
+other).  For *delayed-hold* dependencies it additionally keeps tiles alive
+past the immediate consumer until the downstream consumer takes them — "the
+number of tiles held essentially depends on the reuse distance of the
+downstream dependency (in terms of the number of operations)".
+
+The model verifies occupancy: a hold chain of depth ``d`` with tile size
+``t`` needs ``(d + 1) * t`` bytes resident; ``can_hold`` is the feasibility
+check SCORE's binding step uses to *realize* a hold (otherwise the edge
+degrades to a writeback through CHORD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .base import BufferStats
+
+
+class PipelineBufferError(RuntimeError):
+    pass
+
+
+@dataclass
+class _HeldTile:
+    tensor: str
+    nbytes: int
+    release_stage: int  # pipeline stage index at which the tile is consumed
+
+
+class PipelineBuffer:
+    """Tile staging for realized pipeline and hold dependencies."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+        self._stage_bytes = 0           # double-buffered stage occupancy
+        self._held: List[_HeldTile] = []
+
+    # -- occupancy ------------------------------------------------------------
+
+    @property
+    def held_bytes(self) -> int:
+        return sum(t.nbytes for t in self._held)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._stage_bytes + self.held_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    # -- feasibility checks (used by SCORE's binding) ----------------------------
+
+    def can_stage(self, tile_bytes: int) -> bool:
+        """Double-buffered stage: producer + consumer tile concurrently."""
+        return 2 * tile_bytes <= self.free_bytes
+
+    def can_hold(self, tile_bytes: int, depth: int) -> bool:
+        """Hold ``depth`` stages of tiles plus the double-buffered stage."""
+        return (depth + 2) * tile_bytes <= self.free_bytes
+
+    # -- operations -----------------------------------------------------------------
+
+    def stage(self, tile_bytes: int) -> None:
+        """Producer deposits a tile; adjacent consumer will drain it."""
+        if not self.can_stage(tile_bytes):
+            raise PipelineBufferError(
+                f"cannot stage {tile_bytes}B tile: {self.free_bytes}B free"
+            )
+        self._stage_bytes = max(self._stage_bytes, 2 * tile_bytes)
+        self.stats.accesses += 2  # producer write + consumer read
+        self.stats.hits += 1
+
+    def release_stage(self) -> None:
+        """Consumer drained the staged tile (double-buffer swap)."""
+        self._stage_bytes = 0
+
+    def hold(self, tensor: str, nbytes: int, release_stage: int) -> None:
+        """Keep a tile resident for a delayed-hold consumer."""
+        if nbytes > self.free_bytes:
+            raise PipelineBufferError(
+                f"cannot hold {nbytes}B for {tensor!r}: {self.free_bytes}B free"
+            )
+        self._held.append(_HeldTile(tensor, nbytes, release_stage))
+        self.stats.accesses += 1
+
+    def release_holds(self, stage: int) -> int:
+        """Release all tiles whose delayed consumer ran at ``stage``.
+
+        Returns the number of bytes freed.
+        """
+        keep: List[_HeldTile] = []
+        freed = 0
+        for t in self._held:
+            if t.release_stage <= stage:
+                freed += t.nbytes
+                self.stats.hits += 1   # delayed consumer read on-chip
+                self.stats.accesses += 1
+            else:
+                keep.append(t)
+        self._held = keep
+        return freed

@@ -1,0 +1,66 @@
+"""Register file model (Sec. V-B "Tiling").
+
+Skewed GEMMs have one small tensor (all-N×N' Greek tensors in CG).  SCORE
+fixes the mapping: the small tensor lives entirely in the register file and
+streams from there while a tile of the large tensor is stationary — "even
+though the register files are explicit, they do not require scheduling
+search".  The model checks the fits-entirely precondition and counts
+accesses for the energy model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import BufferStats
+
+
+class RegisterFileError(RuntimeError):
+    pass
+
+
+class RegisterFile:
+    """Small explicit storage holding whole small tensors."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+        self._resident: Dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def load(self, tensor: str, nbytes: int) -> None:
+        """Place a whole small tensor in the RF (evicting it is explicit)."""
+        if tensor in self._resident:
+            return
+        if not self.fits(nbytes):
+            raise RegisterFileError(
+                f"{tensor!r} ({nbytes}B) does not fit in RF "
+                f"({self.free_bytes}B free of {self.capacity_bytes}B)"
+            )
+        self._resident[tensor] = nbytes
+        self.stats.accesses += 1
+
+    def evict(self, tensor: str) -> None:
+        self._resident.pop(tensor, None)
+
+    def is_resident(self, tensor: str) -> bool:
+        return tensor in self._resident
+
+    def stream(self, tensor: str, times: int = 1) -> None:
+        """Stream a resident tensor to the datapath ``times`` times."""
+        if tensor not in self._resident:
+            raise RegisterFileError(f"{tensor!r} not resident in RF")
+        self.stats.accesses += times
+        self.stats.hits += times

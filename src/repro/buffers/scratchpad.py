@@ -1,0 +1,112 @@
+"""Explicitly-managed scratchpad and the oracle explicit traffic model.
+
+A scratchpad has no implicit behaviour: software decides what resides where
+(Table III row 2 — "fully controlled", lowest hardware overhead, highest
+software burden).  The paper's explicit baselines use the *oracle* op-by-op
+allocation: every operand of the running operation is staged once, so DRAM
+traffic equals the cold footprint of each op.  We model that directly; the
+class below additionally provides a checked explicit allocation API used by
+tests and by the pipeline buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .base import BufferStats
+
+
+class AllocationError(RuntimeError):
+    """Raised when an explicit allocation does not fit."""
+
+
+@dataclass
+class _Allocation:
+    offset: int
+    nbytes: int
+
+
+class Scratchpad:
+    """Explicit allocate/free/read/write storage with exact accounting.
+
+    Every byte staged from DRAM or drained to DRAM must be requested
+    explicitly (``fill``/``drain``); reads and writes of resident
+    allocations are on-chip and free of DRAM traffic.  There is no implicit
+    replacement — ``allocate`` raises when space is exhausted, which is
+    precisely the programming burden Sec. VI-B quantifies.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+        self._allocs: Dict[str, _Allocation] = {}
+        self._used = 0
+
+    # -- explicit management ------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        if name in self._allocs:
+            raise AllocationError(f"{name!r} already allocated")
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise AllocationError(
+                f"cannot allocate {nbytes}B for {name!r}: only "
+                f"{self.free_bytes}B free of {self.capacity_bytes}B"
+            )
+        self._allocs[name] = _Allocation(offset=self._used, nbytes=nbytes)
+        self._used += nbytes
+
+    def free(self, name: str) -> None:
+        alloc = self._allocs.pop(name, None)
+        if alloc is None:
+            raise AllocationError(f"{name!r} not allocated")
+        self._used -= alloc.nbytes
+
+    def is_allocated(self, name: str) -> bool:
+        return name in self._allocs
+
+    def allocation_bytes(self, name: str) -> int:
+        return self._allocs[name].nbytes
+
+    # -- data movement ----------------------------------------------------------
+
+    def fill(self, name: str, nbytes: Optional[int] = None) -> None:
+        """Stage bytes from DRAM into an existing allocation."""
+        alloc = self._allocs.get(name)
+        if alloc is None:
+            raise AllocationError(f"{name!r} not allocated")
+        n = alloc.nbytes if nbytes is None else nbytes
+        if n > alloc.nbytes:
+            raise AllocationError(f"fill of {n}B exceeds allocation {alloc.nbytes}B")
+        self.stats.dram_read_bytes += n
+        self.stats.accesses += 1
+
+    def drain(self, name: str, nbytes: Optional[int] = None) -> None:
+        """Write bytes of an allocation back to DRAM."""
+        alloc = self._allocs.get(name)
+        if alloc is None:
+            raise AllocationError(f"{name!r} not allocated")
+        n = alloc.nbytes if nbytes is None else nbytes
+        if n > alloc.nbytes:
+            raise AllocationError(f"drain of {n}B exceeds allocation {alloc.nbytes}B")
+        self.stats.dram_write_bytes += n
+        self.stats.accesses += 1
+
+    def touch(self, name: str) -> None:
+        """On-chip access to a resident allocation (no DRAM traffic)."""
+        if name not in self._allocs:
+            raise AllocationError(f"{name!r} not allocated")
+        self.stats.accesses += 1
+        self.stats.hits += 1

@@ -1,0 +1,24 @@
+"""Static Re-Reference Interval Prediction (SRRIP).
+
+The non-bimodal member of the RRIP family [19]: every fill inserts at
+RRPV = max-1 ("long re-reference interval").  Included as an extra implicit
+baseline beyond the paper's LRU/BRRIP pair — SRRIP is the common middle
+ground (scan-resistant on first touch, thrash-prone on repeated scans)
+and makes the policy-sweep bench a three-way comparison.
+"""
+
+from __future__ import annotations
+
+from .brrip import BrripPolicy, _BrripSet
+
+
+class SrripPolicy(BrripPolicy):
+    """SRRIP: deterministic long-interval insertion."""
+
+    name = "srrip"
+
+    def __init__(self, bits: int = 2) -> None:
+        super().__init__(bits=bits, bimodal_throttle=1)
+
+    def on_fill(self, state: _BrripSet, way: int) -> None:
+        state.rrpv[way] = self.max_rrpv - 1

@@ -1,0 +1,76 @@
+"""Tailors-like overbooking buffer (Xue et al., MICRO 2023 [41]).
+
+Table III's fourth row: a buffet whose capacity may be *overbooked* —
+irregular (sparse) tiles larger than the reserved space spill their tail
+implicitly, word by word, instead of stalling the fill.  This is the other
+hybrid design point the paper positions CHORD against: Tailors manages
+overbooking at tile/word granularity inside one operation, while CHORD
+manages whole tensors across operations.
+
+The model: a fixed window reserved per tile; fills beyond the window are
+counted as overbooked words that round-trip DRAM (the implicit part), while
+everything inside the window behaves like an explicit buffet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import BufferStats
+
+
+class TailorsBuffer:
+    """Buffet with implicit word-level overbooking."""
+
+    def __init__(self, capacity_words: int, overbook_fraction: float = 0.1) -> None:
+        """``overbook_fraction`` is the planned spill headroom: capacity is
+        provisioned for the *average* tile, accepting that large tiles
+        overflow (the paper's "irregular tile sizes that spill over")."""
+        if capacity_words <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0.0 <= overbook_fraction < 1.0):
+            raise ValueError("overbook_fraction must be in [0, 1)")
+        self.capacity = capacity_words
+        self.overbook_fraction = overbook_fraction
+        self.stats = BufferStats()
+        self._tile_words = 0
+
+    @property
+    def booked_capacity(self) -> int:
+        """Words the allocation plan *booked* (capacity shrunk by the
+        planned overbooking headroom)."""
+        return int(self.capacity * (1.0 - self.overbook_fraction))
+
+    def begin_tile(self) -> None:
+        """Start staging a new (variable-size) tile."""
+        self._tile_words = 0
+
+    def fill(self, n_words: int = 1) -> int:
+        """Stage ``n_words`` of the current tile.
+
+        Words within the booked window stay on-chip; overbooked words are
+        implicitly replaced from the tail — they must be re-fetched when
+        read, which the model charges immediately.  Returns the number of
+        overbooked words in this fill.
+        """
+        if n_words < 0:
+            raise ValueError("fill count must be non-negative")
+        start = self._tile_words
+        self._tile_words += n_words
+        kept = max(0, min(self._tile_words, self.booked_capacity) - min(start, self.booked_capacity))
+        overbooked = n_words - kept
+        self.stats.accesses += n_words
+        self.stats.dram_read_bytes += n_words          # initial staging
+        if overbooked > 0:
+            self.stats.misses += overbooked
+            self.stats.dram_read_bytes += overbooked   # re-fetch on use
+            self.stats.evictions += overbooked
+        self.stats.hits += kept
+        return overbooked
+
+    def tile_overflowed(self) -> bool:
+        return self._tile_words > self.booked_capacity
+
+    @property
+    def overbooked_words(self) -> int:
+        return max(0, self._tile_words - self.booked_capacity)

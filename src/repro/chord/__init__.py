@@ -1,0 +1,25 @@
+"""CHORD: hybrid implicit/explicit tensor-granularity buffering (Sec. VI)."""
+
+from .hints import ReuseHints, TensorHints
+from .metadata import ENTRY_BITS_USED, FIELD_BITS, RiffIndexTable, TensorEntry
+from .prelude import FillDecision, prelude_fill
+from .riff import Priority, RiffPolicy
+from .buffer import ChordBuffer
+from .timeline import occupancy_series, render_occupancy, traffic_audit
+
+__all__ = [
+    "ReuseHints",
+    "TensorHints",
+    "ENTRY_BITS_USED",
+    "FIELD_BITS",
+    "RiffIndexTable",
+    "TensorEntry",
+    "FillDecision",
+    "prelude_fill",
+    "Priority",
+    "RiffPolicy",
+    "ChordBuffer",
+    "occupancy_series",
+    "render_occupancy",
+    "traffic_audit",
+]

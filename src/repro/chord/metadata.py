@@ -1,0 +1,137 @@
+"""The RIFF index table (Fig. 10).
+
+CHORD's only metadata is one entry per tensor — not one tag per line.  An
+entry packs: tensor ID, the tensor's global start/end addresses, the
+``end_chord`` address (end of the resident slice), the start/end *indices*
+of the slice inside the data array, a 64-bit re-reference history, and the
+reuse frequency/distance fields from SCORE.  The paper budgets 512 bits per
+entry × 64 entries (Table V), which is ~0.01× the tag array of an
+equivalently sized cache.
+
+Hit detection needs no search: tensors are contiguous and ordered, so
+``hit := req.addr < end_chord[req.id]`` and the data-array index is
+``(req.addr - start_tensor) + start_index`` — one table read, one compare,
+one add (Sec. VI-B "lower complexity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+#: Bit budget per metadata field, summing to < 512 (Table V entry width).
+FIELD_BITS = {
+    "tensor_id": 8,          # 64 entries needs 6; rounded to a byte
+    "start_tensor": 40,      # global byte address
+    "end_tensor": 40,
+    "end_chord": 40,         # global address one past the resident slice
+    "start_index": 24,       # data-array line index of the slice start
+    "end_index": 24,
+    "reref_history": 64,     # per-op re-reference bitvector (Fig. 10)
+    "frequency": 16,
+    "distance": 16,
+}
+
+ENTRY_BITS_USED = sum(FIELD_BITS.values())
+
+
+@dataclass
+class TensorEntry:
+    """One RIFF-index-table row."""
+
+    tensor_id: int
+    name: str
+    start_tensor: int          # global byte address of tensor start
+    end_tensor: int            # global byte address one past tensor end
+    end_chord: int             # one past the resident prefix (== start => empty)
+    start_index: int = 0       # data-array byte index of slice start
+    end_index: int = 0         # data-array byte index one past slice end
+    reref_history: int = 0     # rolling 64-bit access history
+    frequency: int = 0         # remaining reuse count (SCORE hint)
+    distance: int = 0          # ops to next use (SCORE hint)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.end_chord - self.start_tensor
+
+    @property
+    def total_bytes(self) -> int:
+        return self.end_tensor - self.start_tensor
+
+    def is_hit(self, addr: int) -> bool:
+        """Fig. 10 hit rule: request address below ``end_chord``."""
+        return self.start_tensor <= addr < self.end_chord
+
+    def local_index(self, addr: int) -> int:
+        """Data-array position of a hit (no tag search)."""
+        if not self.is_hit(addr):
+            raise ValueError(f"address {addr:#x} is not resident for {self.name!r}")
+        return (addr - self.start_tensor) + self.start_index
+
+    def record_access(self, hit: bool) -> None:
+        self.reref_history = ((self.reref_history << 1) | (1 if hit else 0)) & ((1 << 64) - 1)
+
+
+class RiffIndexTable:
+    """Fixed-capacity table of :class:`TensorEntry` rows.
+
+    Mirrors the hardware constraint: at most ``n_entries`` tensors can be
+    tracked concurrently; allocating past that raises (SCORE's coarse
+    steering keeps the count at DAG scale, ~10²).
+    """
+
+    def __init__(self, n_entries: int = 64, entry_bits: int = 512) -> None:
+        if n_entries <= 0:
+            raise ValueError("table needs at least one entry")
+        if entry_bits < ENTRY_BITS_USED:
+            raise ValueError(
+                f"entry width {entry_bits} bits cannot pack the "
+                f"{ENTRY_BITS_USED} bits of metadata fields"
+            )
+        self.n_entries = n_entries
+        self.entry_bits = entry_bits
+        self._entries: Dict[str, TensorEntry] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[TensorEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_entries * self.entry_bits
+
+    def get(self, name: str) -> TensorEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"tensor {name!r} has no index-table entry") from None
+
+    def allocate(self, name: str, start_tensor: int, end_tensor: int) -> TensorEntry:
+        if name in self._entries:
+            raise ValueError(f"tensor {name!r} already tracked")
+        if len(self._entries) >= self.n_entries:
+            raise RuntimeError(
+                f"RIFF index table full ({self.n_entries} entries); "
+                "SCORE must retire tensors before tracking more"
+            )
+        entry = TensorEntry(
+            tensor_id=self._next_id,
+            name=name,
+            start_tensor=start_tensor,
+            end_tensor=end_tensor,
+            end_chord=start_tensor,
+        )
+        self._next_id += 1
+        self._entries[name] = entry
+        return entry
+
+    def release(self, name: str) -> None:
+        if name not in self._entries:
+            raise KeyError(f"tensor {name!r} has no index-table entry")
+        del self._entries[name]

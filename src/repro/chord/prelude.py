@@ -1,0 +1,40 @@
+"""PRELUDE: head-first fill with tail spill (Fig. 9 left).
+
+A tensor is written in queue order; once the buffer is full the *remaining*
+portion goes straight to DRAM.  The resident part is therefore always a
+contiguous **prefix** (head) of the tensor — the part that will be
+re-referenced first on the next sequential pass — in stark contrast to LRU,
+which retains the most-recently-touched *tail* of a scan (Fig. 11 step 1).
+
+The controller also handles read misses: missed bytes are fetched from DRAM
+and offered back through the same fill path (clean), extending the prefix
+when space (or a RIFF victim) allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FillDecision:
+    """How many bytes of an insertion became resident vs spilled."""
+
+    inserted: int
+    spilled: int
+
+    def __post_init__(self) -> None:
+        if self.inserted < 0 or self.spilled < 0:
+            raise ValueError("fill decision bytes must be non-negative")
+
+
+def prelude_fill(request_bytes: int, free_bytes: int) -> FillDecision:
+    """Pure PRELUDE arithmetic: fill what fits, spill the rest.
+
+    This is the no-replacement core; :class:`~repro.chord.buffer.ChordBuffer`
+    layers RIFF steals on top when the free space runs out.
+    """
+    if request_bytes < 0 or free_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    inserted = min(request_bytes, free_bytes)
+    return FillDecision(inserted=inserted, spilled=request_bytes - inserted)

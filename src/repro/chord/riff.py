@@ -1,0 +1,89 @@
+"""RIFF: tensor-granularity replacement by reuse distance and frequency.
+
+PRELUDE alone never displaces anything, so a tensor with a *far* next use
+(X, reused one full CG iteration later) can squat in the buffer while a
+tensor reused *sooner and more often* (R, reused at lines 5 and 7 of the
+same iteration) is forced to DRAM.  RIFF fixes this by ranking resident
+tensors by (next-use distance, remaining frequency) and evicting the tail
+of the lowest-priority one to make room (Fig. 9 right, Sec. VI-A).
+
+Replacement is at operand granularity: victims lose bytes from their *tail*
+(the portion re-referenced last), never their head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from .hints import ReuseHints
+
+
+@dataclass(frozen=True)
+class Priority:
+    """Orderable priority of a tensor at a given point in the program.
+
+    Higher compares greater.  Dead tensors (no next use) rank below
+    everything; among live tensors a *smaller* next-use distance wins and
+    remaining frequency breaks ties — keep what is needed soonest/most.
+    """
+
+    next_use_distance: Optional[int]   # ops until next use; None = dead
+    remaining_frequency: int
+
+    def key(self) -> Tuple[int, float, int]:
+        if self.next_use_distance is None:
+            return (0, 0.0, 0)
+        return (1, -float(self.next_use_distance), self.remaining_frequency)
+
+    def __lt__(self, other: "Priority") -> bool:
+        return self.key() < other.key()
+
+    def __le__(self, other: "Priority") -> bool:
+        return self.key() <= other.key()
+
+
+class RiffPolicy:
+    """Victim selection over resident tensors using SCORE hints."""
+
+    name = "riff"
+
+    def __init__(self, hints: ReuseHints) -> None:
+        self.hints = hints
+
+    def priority(self, tensor: str, op_index: int) -> Priority:
+        h = self.hints.get(tensor)
+        nxt = h.next_use_after(op_index)
+        return Priority(
+            next_use_distance=None if nxt is None else nxt - op_index,
+            remaining_frequency=h.remaining_frequency(op_index),
+        )
+
+    def select_victim(
+        self,
+        resident: Iterable[str],
+        incoming: str,
+        op_index: int,
+    ) -> Optional[str]:
+        """Lowest-priority resident tensor strictly below the incoming one.
+
+        Returns None when no resident tensor may be displaced — in that case
+        PRELUDE spills the incoming tensor's remainder to DRAM ("if the
+        requested tensor has lower priority than all the other tensors in
+        CHORD, the tensor is sent straight to DRAM").
+        """
+        incoming_priority = self.priority(incoming, op_index)
+        best_name: Optional[str] = None
+        best_priority: Optional[Priority] = None
+        for name in resident:
+            if name == incoming:
+                continue  # a tensor never victimises itself (Fig. 10)
+            p = self.priority(name, op_index)
+            if best_priority is None or p < best_priority:
+                best_priority = p
+                best_name = name
+        if best_name is None or best_priority is None:
+            return None
+        if best_priority < incoming_priority:
+            return best_name
+        return None

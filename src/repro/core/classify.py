@@ -1,0 +1,213 @@
+"""Tensor-level dependency classification — Algorithm 2 of the paper.
+
+For every producer→consumer edge of the DAG, decide one of:
+
+* ``SEQUENTIAL`` — source cannot pipeline (contracted-dominant or non-MAC
+  source, or the destination traverses the tensor in an unshared order);
+  operand round-trips through memory (on- or off-chip).
+* ``PIPELINEABLE`` — adjacent (non-transitive) edge whose producer streams
+  tiles the consumer can eat immediately; tiles are overwritten once consumed.
+* ``DELAYED_HOLD`` — transitive edge whose whole longest path pipelines:
+  tiles stay *held* in the pipeline buffer until the downstream consumer
+  takes them (ResNet skip connections, Fig. 6).
+* ``DELAYED_WRITEBACK`` — transitive edge whose path breaks pipelining
+  somewhere (a contracted node or an unshared hand-off): the tensor must be
+  written back and reused later — the case only CHORD can exploit.
+
+Plus the node attribute ``parallel_multicast`` when a node feeds more than
+one non-transitive consumer.
+
+The *shared/unshared* test uses the consumer's own rank binding of the
+tensor (the CG tensor ``S`` is produced over ranks ``(m,n)`` and consumed by
+line 2a over ``(k,n)``) — binding-awareness is what lets a contraction-heavy
+consumer still receive a pipelined stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .dag import Edge, TensorDag
+from .dominance import (
+    DOMINANCE_RATIO,
+    Dominance,
+    NodeDominance,
+    classify_dominance,
+    shares_dominant_rank,
+)
+from .einsum import OpKind
+
+
+class DependencyType(enum.Enum):
+    SEQUENTIAL = "sequential"
+    PIPELINEABLE = "pipelineable"
+    DELAYED_HOLD = "delayed_hold"
+    DELAYED_WRITEBACK = "delayed_writeback"
+
+    @property
+    def is_delayed(self) -> bool:
+        return self in (DependencyType.DELAYED_HOLD, DependencyType.DELAYED_WRITEBACK)
+
+
+EdgeKey = Tuple[Optional[str], str, str]
+
+
+@dataclass
+class ClassifiedDag:
+    """Output of Algorithm 2 over one :class:`TensorDag`."""
+
+    dag: TensorDag
+    dominance: Dict[str, NodeDominance]
+    dependency: Dict[EdgeKey, DependencyType]
+    numcast: Dict[str, int]
+    parallel_multicast: Dict[str, bool]
+
+    def dep_of(self, edge: Edge) -> DependencyType:
+        return self.dependency[edge.key()]
+
+    def edges_of_type(self, dep: DependencyType) -> Tuple[Edge, ...]:
+        return tuple(e for e in self.dag.edges() if self.dependency[e.key()] is dep)
+
+    def consumer_dep(self, tensor: str, consumer: str) -> Optional[DependencyType]:
+        """Dependency type of the edge carrying ``tensor`` into ``consumer``.
+
+        ``None`` for program-input tensors (no producer ⇒ no classified edge).
+        """
+        src = self.dag.producer_of(tensor)
+        if src is None:
+            return None
+        return self.dependency[(src, consumer, tensor)]
+
+    def node_letter(self, op_name: str) -> str:
+        """Fig. 7 node annotation (``U``/``C``/``bal``)."""
+        return self.dominance[op_name].letter
+
+    def summary(self) -> Dict[str, int]:
+        """Count of edges per dependency type."""
+        out: Dict[str, int] = {d.value: 0 for d in DependencyType}
+        for dep in self.dependency.values():
+            out[dep.value] += 1
+        return out
+
+    def describe(self) -> str:
+        lines = ["Classified DAG (Algorithm 2):"]
+        for name in self.dag.op_names:
+            cast = " multicast" if self.parallel_multicast.get(name) else ""
+            lines.append(f"  node {name} [{self.node_letter(name)}]{cast}")
+        for e in self.dag.edges():
+            lines.append(
+                f"  edge {e.src} --{e.tensor}--> {e.dst}: "
+                f"{self.dependency[e.key()].value}"
+            )
+        return "\n".join(lines)
+
+
+def _consumer_shares(dag: TensorDag, dst: str, tensor: str,
+                     dominance: Mapping[str, NodeDominance]) -> bool:
+    """Does ``dst``'s dominant rank appear on its own binding of ``tensor``?"""
+    bound = dag.op(dst).input_named(tensor)
+    return shares_dominant_rank(dominance[dst], bound)
+
+
+def classify_dependencies(
+    dag: TensorDag,
+    ratio: float = DOMINANCE_RATIO,
+) -> ClassifiedDag:
+    """Run Algorithm 2 over ``dag``.
+
+    Rules are applied in the paper's order, with later assignments
+    overriding earlier ones, and an explicit default of SEQUENTIAL (the
+    unconstrained dependency, Sec. V-A).
+    """
+    dominance: Dict[str, NodeDominance] = {
+        op.name: classify_dominance(op, ratio=ratio) for op in dag.ops
+    }
+    dependency: Dict[EdgeKey, DependencyType] = {}
+    numcast: Dict[str, int] = {}
+    multicast: Dict[str, bool] = {}
+
+    for op in dag.ops:
+        node = op.name
+        numcast[node] = 0
+        multicast[node] = False
+        node_dom = dominance[node]
+        # Algorithm 2 tests "node.op != tensor_mac"; element-wise ops
+        # (ResNet's residual add, BiCGStab's vector updates) stream in
+        # production order exactly like a MAC einsum, so only order-breaking
+        # ops (the matrix inverse) disqualify a node from pipelining.
+        src_streams = op.kind is not OpKind.INVERSE
+
+        for edge in dag.out_edges(node):
+            transitive = dag.is_transitive_edge(edge)
+            if not transitive:
+                numcast[node] += 1
+                if numcast[node] > 1:
+                    multicast[node] = True
+
+            dep = DependencyType.SEQUENTIAL
+            dst_shares = _consumer_shares(dag, edge.dst, edge.tensor, dominance)
+            dst_streams = dag.op(edge.dst).kind is not OpKind.INVERSE
+
+            if (
+                node_dom.kind is not Dominance.CONTRACTED
+                and not transitive
+                and dst_shares
+            ):
+                dep = DependencyType.PIPELINEABLE
+            if node_dom.kind is Dominance.CONTRACTED or not src_streams:
+                dep = DependencyType.SEQUENTIAL
+            if not dst_shares:
+                dep = DependencyType.SEQUENTIAL
+            if not dst_streams:
+                # Extension of Algorithm 2: an inverse consumer needs its
+                # whole operand before starting, so the edge cannot pipeline
+                # regardless of rank sharing.
+                dep = DependencyType.SEQUENTIAL
+            if (
+                node_dom.kind is not Dominance.CONTRACTED
+                and src_streams
+                and transitive
+                and dst_shares
+                and dst_streams
+            ):
+                dep = _classify_transitive(dag, edge, dominance)
+
+            dependency[edge.key()] = dep
+
+    return ClassifiedDag(
+        dag=dag,
+        dominance=dominance,
+        dependency=dependency,
+        numcast=numcast,
+        parallel_multicast=multicast,
+    )
+
+
+def _classify_transitive(
+    dag: TensorDag,
+    edge: Edge,
+    dominance: Mapping[str, NodeDominance],
+) -> DependencyType:
+    """Walk the longest src→dst path: hold iff every hop pipelines.
+
+    A hop breaks pipelining when its source is contracted-dominant, is an
+    inverse, or hands its tensor to a consumer that does not share the
+    dominant rank (Algorithm 2's inner loop).
+    """
+    assert edge.src is not None
+    path = dag.longest_path(edge.src, edge.dst)
+    assert path is not None and len(path) > 2
+    for i in range(len(path) - 1):
+        pathnode, pathnext = path[i], path[i + 1]
+        if dominance[pathnode].kind is Dominance.CONTRACTED:
+            return DependencyType.DELAYED_WRITEBACK
+        if dag.op(pathnode).kind is OpKind.INVERSE:
+            return DependencyType.DELAYED_WRITEBACK
+        hop_tensor = dag.path_edge_tensor(pathnode, pathnext)
+        if hop_tensor is None:
+            return DependencyType.DELAYED_WRITEBACK
+        if not _consumer_shares(dag, pathnext, hop_tensor, dominance):
+            return DependencyType.DELAYED_WRITEBACK
+    return DependencyType.DELAYED_HOLD

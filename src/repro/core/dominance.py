@@ -1,0 +1,88 @@
+"""Node dominance classification (Fig. 7 node letters).
+
+A node's *dominant rank* is the rank whose traversed extent dwarfs the
+others.  Algorithm 2 cares about three node classes:
+
+* ``U`` (uncontracted-dominant) — the large rank is uncontracted; output is
+  large and streams out as it is produced, so the node can feed a pipeline.
+* ``C`` (contracted-dominant) — the large rank is contracted (lines 2/5 of
+  Algorithm 1); the bulk of compute just produces a small output, so the node
+  cannot pipeline with its consumer (Challenge 2).
+* ``bal`` (balanced) — all ranks comparable (the ResNet convs in Fig. 7).
+
+Compressed ranks count their *effective* extent: the CG SpMM contracts the
+nominal M-sized rank but visits only nnz/M entries per row, so the node is
+``U`` ("the first operation is 'U' because the contracted rank is
+compressed").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .einsum import EinsumOp
+from .tensor import TensorSpec
+
+#: A rank must exceed every other rank by this factor to dominate; below it
+#: the node is balanced.  The paper's shapes are far from the boundary
+#: (M/N >= 600 in CG, ~1 in ResNet convs), so any moderate value reproduces
+#: Fig. 7; 8x keeps near-square ops balanced.
+DOMINANCE_RATIO: float = 8.0
+
+
+class Dominance(enum.Enum):
+    UNCONTRACTED = "U"
+    CONTRACTED = "C"
+    BALANCED = "bal"
+
+
+@dataclass(frozen=True)
+class NodeDominance:
+    """Dominance verdict for one op."""
+
+    kind: Dominance
+    dominant_rank: Optional[str]  # None for balanced nodes
+
+    @property
+    def letter(self) -> str:
+        return self.kind.value
+
+
+def classify_dominance(op: EinsumOp, ratio: float = DOMINANCE_RATIO) -> NodeDominance:
+    """Classify ``op``'s dominance using traversal extents.
+
+    The dominant rank is the one with the maximum effective extent, provided
+    it beats every other rank by ``ratio``; otherwise the node is balanced.
+    """
+    ranks = op.all_ranks
+    if len(ranks) == 1:
+        r = ranks[0]
+        kind = Dominance.CONTRACTED if r.name in op.contracted else Dominance.UNCONTRACTED
+        return NodeDominance(kind, r.name)
+    ordered = sorted(ranks, key=lambda r: r.traversal_size, reverse=True)
+    top, second = ordered[0], ordered[1]
+    if top.traversal_size < ratio * second.traversal_size:
+        return NodeDominance(Dominance.BALANCED, None)
+    if top.name in op.contracted:
+        return NodeDominance(Dominance.CONTRACTED, top.name)
+    return NodeDominance(Dominance.UNCONTRACTED, top.name)
+
+
+def shares_dominant_rank(
+    consumer_dom: NodeDominance, tensor: TensorSpec
+) -> bool:
+    """Does the consumer's dominant rank appear on ``tensor``?
+
+    Algorithm 2's *unshared* test: a consumer whose dominant (outermost) rank
+    is not a rank of the communicated tensor would traverse it in an order
+    unrelated to production (swizzle), so the edge cannot pipeline and is
+    sequential.  Balanced consumers share by convention — any of their ranks
+    can be scheduled outermost, so the scheduler can always align one with
+    the tensor (the ResNet chain pipelines, Fig. 7).
+    """
+    if consumer_dom.kind is Dominance.BALANCED:
+        return True
+    assert consumer_dom.dominant_rank is not None
+    return tensor.has_rank(consumer_dom.dominant_rank)

@@ -1,0 +1,155 @@
+"""Einsum operation nodes.
+
+Each node of the tensor dependency DAG is one einsum-style operation
+(``Z[m,n] += A[m,k] * B[k,n]``) plus optional element-wise accumulation
+(``X = X + P*Lambda``) and non-MAC ops (the small matrix inverses on lines
+2b/6 of Algorithm 1, drawn ``inv`` in Fig. 7).  Algorithm 2 keys off the op
+kind: non-``tensor_mac`` nodes force sequential out-edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from .ranks import Rank
+from .tensor import TensorSpec
+
+
+class OpKind(enum.Enum):
+    """Operation kinds distinguished by the scheduler."""
+
+    TENSOR_MAC = "tensor_mac"   # GEMM / SpMM / batched MAC einsum
+    INVERSE = "inverse"         # small dense matrix inverse (+ optional GEMM)
+    ELEMENTWISE = "elementwise" # pure element-wise map (ReLU, bias, ...)
+
+
+@dataclass(frozen=True)
+class EinsumOp:
+    """One tensor operation in the DAG.
+
+    Parameters
+    ----------
+    name:
+        Unique node id.  CG nodes are named after Algorithm 1 line numbers,
+        e.g. ``"1:spmm@0"`` for line 1 in iteration 0.
+    inputs:
+        Input tensor specs, in operand order.
+    output:
+        Produced tensor spec.
+    contracted:
+        Names of contracted (summed) ranks.  Empty for element-wise ops.
+    kind:
+        :class:`OpKind`.
+    accumulate_input:
+        Name of an input tensor that is element-wise accumulated into the
+        output (e.g. ``X`` in ``X = X + P*Lambda``), or ``None``.
+    label:
+        Human-readable description used by reports.
+    """
+
+    name: str
+    inputs: Tuple[TensorSpec, ...]
+    output: TensorSpec
+    contracted: Tuple[str, ...] = ()
+    kind: OpKind = OpKind.TENSOR_MAC
+    accumulate_input: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("op must be named")
+        if len(self.inputs) == 0:
+            raise ValueError(f"op {self.name!r} needs at least one input")
+        names = [t.name for t in self.inputs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"op {self.name!r} has duplicate input tensors {names}")
+        if self.output.name in names and self.accumulate_input != self.output.name:
+            raise ValueError(
+                f"op {self.name!r}: output {self.output.name!r} aliases an input; "
+                "declare accumulate_input for read-modify-write semantics"
+            )
+        if self.accumulate_input is not None and self.accumulate_input not in names:
+            raise ValueError(
+                f"op {self.name!r}: accumulate input {self.accumulate_input!r} "
+                f"not among inputs {names}"
+            )
+        for c in self.contracted:
+            if not any(t.has_rank(c) for t in self.inputs):
+                raise ValueError(f"op {self.name!r}: contracted rank {c!r} not on any input")
+            if self.output.has_rank(c):
+                raise ValueError(f"op {self.name!r}: contracted rank {c!r} appears on output")
+
+    # -- rank views ----------------------------------------------------------
+
+    @property
+    def all_ranks(self) -> Tuple[Rank, ...]:
+        """All distinct ranks touched by the op, input order then output."""
+        seen: Dict[str, Rank] = {}
+        for t in self.inputs + (self.output,):
+            for r in t.ranks:
+                seen.setdefault(r.name, r)
+        return tuple(seen.values())
+
+    @property
+    def uncontracted(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.all_ranks if r.name not in self.contracted)
+
+    def rank(self, name: str) -> Rank:
+        for r in self.all_ranks:
+            if r.name == name:
+                return r
+        raise KeyError(f"op {self.name!r} has no rank {name!r}")
+
+    # -- work metrics ----------------------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulates (compression-aware).
+
+        For a dense GEMM this is the product of all rank extents.  For a
+        sparse contraction the compressed rank contributes its traversal
+        extent, so an SpMM with A(M×M, nnz) by P(M×N) costs ``nnz*N`` MACs.
+        Element-wise ops cost one op per output element; inverses cost
+        ``n^3`` on their (small) square operand plus the chained GEMM.
+        """
+        if self.kind is OpKind.ELEMENTWISE:
+            return self.output.n_elements
+        if self.kind is OpKind.INVERSE:
+            n = self.output.ranks[0].size
+            gemm: float = 1
+            for r in self.all_ranks:
+                gemm *= r.traversal_size
+            return int(round(n ** 3 + gemm))
+        out: float = 1
+        for r in self.all_ranks:
+            out *= r.traversal_size
+        return int(round(out))
+
+    @property
+    def io_bytes_cold(self) -> int:
+        """Bytes moved when every operand begins and ends in DRAM (Eq. 3).
+
+        An accumulated operand (``X = X + ...``) is read and written, which
+        double-charges its footprint exactly as the oracle op-by-op model
+        requires.
+        """
+        total = sum(t.bytes for t in self.inputs) + self.output.bytes
+        return total
+
+    @property
+    def arithmetic_intensity_best(self) -> float:
+        """Best-case ops/byte with no inter-operation reuse (Sec. III-A)."""
+        return self.macs / self.io_bytes_cold
+
+    def input_named(self, name: str) -> TensorSpec:
+        for t in self.inputs:
+            if t.name == name:
+                return t
+        raise KeyError(f"op {self.name!r} has no input {name!r}")
+
+    def describe(self) -> str:
+        ins = ", ".join(t.describe() for t in self.inputs)
+        c = "".join(self.contracted)
+        return f"{self.name}: {self.output.describe()} <- {self.kind.value}({ins}; contract={c or '-'})"

@@ -1,0 +1,159 @@
+"""Rank (index variable) abstractions for einsum operations.
+
+A *rank* is a named loop dimension of an einsum (``m``, ``n``, ``k`` in
+``Z[m,n] += A[m,k] * B[k,n]``).  Ranks carry a concrete extent (size) plus an
+optional *effective* extent: the paper's Algorithm 2 classifies node
+dominance using the traversed extent, which differs from the nominal extent
+for compressed (sparse) ranks — e.g. the contracted rank of the CG SpMM has
+nominal extent M but effective extent ``nnz/M`` ("the first operation is 'U'
+because the contracted rank is compressed", Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rank:
+    """A named loop dimension with a concrete extent.
+
+    Parameters
+    ----------
+    name:
+        The rank's identifier (``"m"``, ``"k"``, ...).  Rank identity is by
+        name: two operations that share a rank name share that dimension.
+    size:
+        Nominal extent (number of index values).
+    compressed:
+        True when the rank is traversed in a compressed (sparse) format so
+        that only ``effective_size`` positions are visited per traversal.
+    effective_size:
+        Traversed extent.  Defaults to ``size`` for dense ranks; for
+        compressed ranks it should be set to the mean number of stored
+        entries (e.g. nnz/rows for a CSR row traversal).
+    """
+
+    name: str
+    size: int
+    compressed: bool = False
+    effective_size: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"rank {self.name!r} must have positive size, got {self.size}")
+        if self.effective_size is None:
+            object.__setattr__(self, "effective_size", float(self.size))
+        if self.effective_size <= 0:
+            raise ValueError(
+                f"rank {self.name!r} must have positive effective size, "
+                f"got {self.effective_size}"
+            )
+        if self.compressed and self.effective_size > self.size:
+            raise ValueError(
+                f"compressed rank {self.name!r} cannot have effective size "
+                f"{self.effective_size} larger than nominal size {self.size}"
+            )
+
+    @property
+    def traversal_size(self) -> float:
+        """Extent actually visited by a traversal (compression-aware).
+
+        Fractional for compressed ranks (mean stored entries per position,
+        e.g. nnz/rows), exact for dense ranks.
+        """
+        assert self.effective_size is not None
+        return self.effective_size
+
+    def with_size(self, size: int) -> "Rank":
+        """Return a copy with a different nominal (and effective) size."""
+        return replace(self, size=size, effective_size=None if not self.compressed else min(size, self.traversal_size))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ""
+        if self.compressed:
+            extra = f", compressed->{self.effective_size}"
+        return f"Rank({self.name}={self.size}{extra})"
+
+
+class RankSpace:
+    """A registry of the ranks appearing in one tensor-operation DAG.
+
+    Rank names are global to a DAG: ``m`` in two different operations refers
+    to the same dimension.  ``RankSpace`` enforces consistent sizes and
+    provides lookups used by the dominance classifier and schedulers.
+    """
+
+    def __init__(self, ranks: Iterable[Rank] = ()) -> None:
+        self._ranks: Dict[str, Rank] = {}
+        for r in ranks:
+            self.add(r)
+
+    def add(self, rank: Rank) -> Rank:
+        """Register ``rank``; error when re-registering with a new size."""
+        existing = self._ranks.get(rank.name)
+        if existing is not None:
+            if existing.size != rank.size or existing.compressed != rank.compressed:
+                raise ValueError(
+                    f"rank {rank.name!r} registered twice with conflicting "
+                    f"definitions: {existing} vs {rank}"
+                )
+            return existing
+        self._ranks[rank.name] = rank
+        return rank
+
+    def get(self, name: str) -> Rank:
+        try:
+            return self._ranks[name]
+        except KeyError:
+            raise KeyError(f"unknown rank {name!r}; known: {sorted(self._ranks)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ranks
+
+    def __iter__(self):
+        return iter(self._ranks.values())
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._ranks)
+
+    def sizes(self) -> Mapping[str, int]:
+        return {name: r.size for name, r in self._ranks.items()}
+
+
+def make_ranks(sizes: Mapping[str, int], compressed: Mapping[str, float] | None = None) -> RankSpace:
+    """Convenience constructor.
+
+    Parameters
+    ----------
+    sizes:
+        Mapping of rank name to nominal extent.
+    compressed:
+        Optional mapping of rank name to *effective* extent for compressed
+        ranks.
+    """
+    compressed = dict(compressed or {})
+    space = RankSpace()
+    for name, size in sizes.items():
+        if name in compressed:
+            space.add(Rank(name, size, compressed=True, effective_size=compressed[name]))
+        else:
+            space.add(Rank(name, size))
+    return space
+
+
+def volume(ranks: Iterable[Rank], effective: bool = False) -> float:
+    """Product of rank extents.
+
+    With ``effective=True`` compressed ranks contribute their traversal
+    extent — this is the MAC count of a sparse contraction (fractional
+    extents make it a float; callers round at the edge).
+    """
+    out: float = 1
+    for r in ranks:
+        out *= r.traversal_size if effective else r.size
+    return out

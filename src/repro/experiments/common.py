@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..baselines.runner import run_workload_config
+from ..hw.config import GB, AcceleratorConfig
+from ..sim.results import SimResult
+from ..workloads.registry import Workload
+
+
+def bandwidth_label(bytes_per_s: float) -> str:
+    return f"{bytes_per_s / GB:.0f}GB/s"
+
+
+def run_configs(
+    workload: Workload,
+    configs: Sequence[str],
+    cfg: AcceleratorConfig,
+    cache_granularity: Optional[int] = None,
+) -> Dict[str, SimResult]:
+    """Run several Table IV configurations on one workload."""
+    return {
+        c: run_workload_config(
+            workload, c, cfg, cache_granularity=cache_granularity
+        )
+        for c in configs
+    }
+
+
+#: Cache-simulation coarsening used by the heavyweight experiments: keeps
+#: line-exactness where affordable and bounds trace length elsewhere (see
+#: ``repro.sim.trace.auto_granularity``).  ``None`` = choose automatically.
+DEFAULT_CACHE_GRANULARITY: Optional[int] = None

@@ -1,0 +1,52 @@
+"""Fig. 8: multi-node dataflow — NoC traffic of the two split strategies.
+
+The top of Fig. 8 splits the DAG operator-by-operator across nodes (the
+skewed M×N intermediate crosses the NoC); the bottom splits the dominant
+rank (only the N×N' tensor is broadcast/reduced).  For CG's shapes the
+rank split moves orders of magnitude fewer words.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..analysis.report import render_table
+from ..hw.noc import NocConfig
+from ..score.multinode import NocTrafficComparison, compare_noc_traffic
+from ..workloads.registry import CG_DATASETS
+
+
+def run(
+    n: int = 16,
+    n_nodes: int = 16,
+) -> Tuple[NocTrafficComparison, ...]:
+    noc = NocConfig(n_nodes=n_nodes)
+    return tuple(
+        compare_noc_traffic(ds.m, n, n, noc) for ds in CG_DATASETS
+    )
+
+
+def report(n: int = 16, n_nodes: int = 16) -> str:
+    comps = run(n=n, n_nodes=n_nodes)
+    rows = [
+        [
+            f"M={c.m}",
+            c.op_split_words,
+            c.rank_split_words,
+            c.advantage,
+        ]
+        for c in comps
+    ]
+    return render_table(
+        ["problem", "op-split words", "rank-split words", "advantage (x)"],
+        rows,
+        title=f"Fig. 8: NoC traffic per pipelined pair (N={n}, {n_nodes} nodes)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Fig. 16(b): CELLO performance vs CHORD capacity (1/4/16 MB),
+CG on shallow_water1, N ∈ {1, 16}.
+
+Expected shape: monotone improvement with SRAM; at N=1 the working set
+fits by 4 MB so 4 MB == 16 MB; at N=16 capacity keeps paying through
+16 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..analysis.report import render_table
+from ..baselines.runner import run_workload_config
+from ..hw.config import MIB, AcceleratorConfig
+from ..sim.results import SimResult
+from ..workloads.registry import cg_workload
+from ..workloads.matrices import SHALLOW_WATER1
+
+SRAM_SWEEP_BYTES: Tuple[int, ...] = (1 * MIB, 4 * MIB, 16 * MIB)
+N_VALUES: Tuple[int, ...] = (1, 16)
+
+
+@dataclass(frozen=True)
+class Fig16bPoint:
+    n: int
+    sram_bytes: int
+    result: SimResult
+
+
+def run(
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+    srams: Sequence[int] = SRAM_SWEEP_BYTES,
+    n_values: Sequence[int] = N_VALUES,
+    iterations: int = 10,
+) -> Tuple[Fig16bPoint, ...]:
+    points = []
+    for n in n_values:
+        w = cg_workload(SHALLOW_WATER1, n, iterations=iterations)
+        for sram in srams:
+            c = cfg.with_sram(sram)
+            r = run_workload_config(w, "CELLO", c)
+            points.append(Fig16bPoint(n=n, sram_bytes=sram, result=r))
+    return tuple(points)
+
+
+def report(cfg: AcceleratorConfig = AcceleratorConfig(),
+           iterations: int = 10) -> str:
+    points = run(cfg, iterations=iterations)
+    rows = [
+        [
+            p.n,
+            p.sram_bytes // MIB,
+            p.result.dram_bytes / 1e6,
+            p.result.throughput_gmacs,
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["N", "SRAM MB", "DRAM MB", "GMAC/s"],
+        rows,
+        title="Fig. 16(b): CELLO vs CHORD capacity (CG, shallow_water1)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

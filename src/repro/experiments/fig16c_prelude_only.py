@@ -1,0 +1,84 @@
+"""Fig. 16(c): the PRELUDE-only configuration vs Flexagon / FLAT / CELLO,
+CG on shallow_water1, N ∈ {1, 16}.
+
+Expected shape: PRELUDE-only beats Flexagon and FLAT (writeback support
+matters more than pipelining on CG), but trails CELLO (RIFF keeps the
+frequently-reused tensors resident); it sits closer to CELLO at N=1 and
+closer to the baselines at N=16 (PRELUDE benefits from tensors that are
+small relative to the SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..analysis.report import render_table
+from ..baselines.runner import run_workload_config
+from ..hw.config import AcceleratorConfig
+from ..sim.results import SimResult
+from ..workloads.registry import cg_workload
+from ..workloads.matrices import SHALLOW_WATER1
+
+CONFIGS: Tuple[str, ...] = ("Flexagon", "FLAT", "PRELUDE-only", "CELLO")
+N_VALUES: Tuple[int, ...] = (1, 16)
+
+
+@dataclass(frozen=True)
+class Fig16cPanel:
+    n: int
+    results: Dict[str, SimResult]
+
+    def gap_position(self) -> float:
+        """Where PRELUDE-only sits between Flexagon (0) and CELLO (1),
+        in log-traffic space."""
+        import math
+
+        flex = self.results["Flexagon"].dram_bytes
+        cello = self.results["CELLO"].dram_bytes
+        pre = self.results["PRELUDE-only"].dram_bytes
+        if flex == cello:
+            return 1.0
+        return (math.log(flex) - math.log(pre)) / (math.log(flex) - math.log(cello))
+
+
+def run(
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+    configs: Sequence[str] = CONFIGS,
+    n_values: Sequence[int] = N_VALUES,
+    iterations: int = 10,
+) -> Tuple[Fig16cPanel, ...]:
+    panels = []
+    for n in n_values:
+        w = cg_workload(SHALLOW_WATER1, n, iterations=iterations)
+        results = {c: run_workload_config(w, c, cfg) for c in configs}
+        panels.append(Fig16cPanel(n=n, results=results))
+    return tuple(panels)
+
+
+def report(cfg: AcceleratorConfig = AcceleratorConfig(),
+           iterations: int = 10) -> str:
+    panels = run(cfg, iterations=iterations)
+    rows = []
+    for p in panels:
+        rows.append(
+            [p.n]
+            + [p.results[c].throughput_gmacs for c in CONFIGS]
+            + [p.gap_position()]
+        )
+    table = render_table(
+        ["N"] + [f"{c} GMAC/s" for c in CONFIGS] + ["PRELUDE position (0=Flex,1=CELLO)"],
+        rows,
+        title="Fig. 16(c): PRELUDE-only study (CG, shallow_water1)",
+    )
+    return table + (
+        "\nPaper: PRELUDE-only closer to CELLO at N=1, closer to baselines at N=16."
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,74 @@
+"""Table III: buffer-mechanism matrix, cross-checked against the models.
+
+``verify()`` ties each table claim to behaviour of the implemented buffer
+classes: the cache replaces at line granularity with no workload knowledge,
+buffets refuse to overflow (explicit), CHORD replaces at operand
+granularity using only coarse DAG metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.tables import buffer_capability_table
+from ..buffers.buffet import Buffet, BuffetError
+from ..buffers.cache import SetAssociativeCache
+from ..buffers.lru import LruPolicy
+from ..chord.buffer import ChordBuffer
+from ..chord.hints import ReuseHints, TensorHints
+from ..hw.config import AcceleratorConfig
+from ..hw.sram_model import chord_metadata_ratio
+
+
+def verify() -> Dict[str, bool]:
+    checks: Dict[str, bool] = {}
+
+    # Cache: implicit line-level replacement, fully workload-agnostic.
+    cache = SetAssociativeCache(1024, 16, 2, LruPolicy())
+    for b in range(100):
+        cache.access_line(b, is_write=False)
+    checks["cache replaces implicitly at line level"] = cache.stats.evictions > 0
+
+    # Buffet: explicit — refuses to overflow instead of spilling.
+    buf = Buffet(8)
+    buf.fill(8)
+    try:
+        buf.fill(1)
+        overflowed = False
+    except BuffetError:
+        overflowed = True
+    checks["buffet is explicit (no implicit overflow)"] = overflowed
+
+    # CHORD: operand-granularity replacement from coarse hints only.
+    hints = ReuseHints({
+        "X": TensorHints("X", 1000, 0, (7,), False),
+        "R": TensorHints("R", 1000, 1, (2, 3), False),
+    })
+    chord = ChordBuffer(1200, hints)
+    chord.write("X", 0)          # X fills first
+    chord.write("R", 1)          # R (sooner, more frequent) displaces X's tail
+    checks["chord replaces at operand granularity (RIFF)"] = (
+        chord.resident_bytes("R") > 200 and chord.resident_bytes("X") < 1000
+    )
+
+    # CHORD metadata is ~0.01x of cache tags.
+    ratio = chord_metadata_ratio(AcceleratorConfig())
+    checks["chord metadata ~0.01x cache tags"] = ratio < 0.02
+    return checks
+
+
+def report() -> str:
+    table = buffer_capability_table()
+    checks = verify()
+    lines = [table, "", "Live mechanism demonstrations:"]
+    for name, ok in checks.items():
+        lines.append(f"  [{'x' if ok else ' '}] {name}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,182 @@
+"""CACTI-style SRAM area and energy model (Fig. 15, Sec. VI-B numbers).
+
+The paper uses CACTI 7 to cost three 4 MB on-chip structures:
+
+* **buffet** (explicit scratchpad + tiny credit controller): 6.72 mm² — the
+  controller adds ~2 % over the raw data array;
+* **8-way cache** (16 B lines): 9.87 mm² total, 6.59 mm² data + 1.85 mm² tag
+  (rest is the cache controller);
+* **CHORD**: 6.74 mm² — data array + a RIFF index table that is ~0.01× the
+  cache's tag array.
+
+We reproduce these with a parametric model: data-array area scales linearly
+with capacity (per-bit constant calibrated to the paper's 6.59 mm² @ 4 MB);
+tag/metadata arrays are sized from their actual bit counts; per-access
+energy follows the usual ~sqrt(capacity) wordline/bitline scaling with a
+fixed per-access overhead for tag lookup (set-associative caches read all
+ways of a tag set).  Calibration pins the absolute endpoints, so every
+*comparison* Fig. 15 makes is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import AcceleratorConfig, MIB
+
+# -- calibration constants (per Fig. 15 @ 4 MB, 16 B lines, 8-way) -------------
+
+#: mm² per data-array byte: 6.59 mm² / 4 MiB.
+_DATA_MM2_PER_BYTE = 6.59 / (4 * MIB)
+#: Buffet controller overhead over the data array (Sec. VII-B3: ~2 %).
+_BUFFET_CTRL_OVERHEAD = 0.02
+#: Cache controller area as a fraction of the data array (9.87 - 6.59 - 1.85
+#: = 1.43 mm² for the 4 MB point).
+_CACHE_CTRL_OVERHEAD = 1.43 / 6.59
+#: Address bits assumed for tag computation (40-bit physical addresses).
+_ADDR_BITS = 40
+#: Per-line state bits beside the tag (valid + dirty + replacement state).
+_LINE_STATE_BITS = 4
+#: mm² per tag/metadata bit, calibrated so an 8-way 4 MB cache with 16 B
+#: lines lands on 1.85 mm² of tag array.
+#: tag bits/line = 40 - log2(32768 sets) - log2(16) = 21, +4 state = 25;
+#: 262144 lines * 25 bits = 6.55 Mb.
+_TAG_MM2_PER_BIT = 1.85 / (262144 * 25)
+
+#: Energy model: data access energy at the 4 MB point, pJ per 16 B access.
+#: CACTI-class numbers for a large SRAM macro; scales as sqrt(capacity).
+_DATA_PJ_AT_4MB = 20.0
+#: Tag probe energy comparable to data access energy (Sec. VI-B: "tag access
+#: energy is comparable to data access energy, because of the size of the
+#: tag array and also due to set associativity").
+_TAG_PJ_AT_4MB = 16.0
+#: CHORD's RIFF-index-table probe: one 512-bit entry read, no associative
+#: search.
+_CHORD_TABLE_PJ = 0.4
+#: Buffet credit-scoreboard energy per access.
+_BUFFET_CTRL_PJ = 0.2
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """Area/energy verdict for one on-chip buffer structure."""
+
+    name: str
+    data_mm2: float
+    metadata_mm2: float
+    control_mm2: float
+    energy_pj_per_access: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.data_mm2 + self.metadata_mm2 + self.control_mm2
+
+
+def _data_area_mm2(capacity_bytes: int) -> float:
+    return capacity_bytes * _DATA_MM2_PER_BYTE
+
+
+def _data_energy_pj(capacity_bytes: int) -> float:
+    """Per-access data-array energy; ~sqrt scaling in capacity."""
+    return _DATA_PJ_AT_4MB * math.sqrt(capacity_bytes / (4 * MIB))
+
+
+def cache_tag_bits(cfg: AcceleratorConfig) -> int:
+    """Total tag+state bits of the set-associative cache."""
+    n_sets = cfg.n_sets
+    tag_bits = _ADDR_BITS - int(math.log2(n_sets)) - int(math.log2(cfg.line_bytes))
+    return cfg.n_lines * (tag_bits + _LINE_STATE_BITS)
+
+
+def chord_table_bits(cfg: AcceleratorConfig) -> int:
+    """RIFF index table: ``chord_entries`` × ``chord_entry_bits`` (Table V)."""
+    return cfg.chord_entries * cfg.chord_entry_bits
+
+
+def scratchpad_cost(cfg: AcceleratorConfig) -> StructureCost:
+    """Raw explicitly-managed scratchpad: data array only."""
+    cap = cfg.sram_bytes
+    return StructureCost(
+        name="scratchpad",
+        data_mm2=_data_area_mm2(cap),
+        metadata_mm2=0.0,
+        control_mm2=0.0,
+        energy_pj_per_access=_data_energy_pj(cap),
+    )
+
+
+def buffet_cost(cfg: AcceleratorConfig) -> StructureCost:
+    """Buffet: scratchpad + ~2 % credit-management controller."""
+    cap = cfg.sram_bytes
+    data = _data_area_mm2(cap)
+    return StructureCost(
+        name="buffet",
+        data_mm2=data,
+        metadata_mm2=0.0,
+        control_mm2=data * _BUFFET_CTRL_OVERHEAD,
+        energy_pj_per_access=_data_energy_pj(cap) + _BUFFET_CTRL_PJ,
+    )
+
+
+def cache_cost(cfg: AcceleratorConfig) -> StructureCost:
+    """Set-associative cache: data + tag array + controller.
+
+    Every access probes all ways of one tag set, so tag energy is charged on
+    each access in addition to the data access.
+    """
+    cap = cfg.sram_bytes
+    data = _data_area_mm2(cap)
+    tags = cache_tag_bits(cfg) * _TAG_MM2_PER_BIT
+    tag_energy = _TAG_PJ_AT_4MB * math.sqrt(cap / (4 * MIB))
+    return StructureCost(
+        name="cache",
+        data_mm2=data,
+        metadata_mm2=tags,
+        control_mm2=data * _CACHE_CTRL_OVERHEAD,
+        energy_pj_per_access=_data_energy_pj(cap) + tag_energy,
+    )
+
+
+def chord_cost(cfg: AcceleratorConfig) -> StructureCost:
+    """CHORD: data array + 64-entry RIFF index table + small controller.
+
+    Hit detection reads one table entry and compares against
+    ``end_chord`` — no per-line tag match — so per-access energy is the data
+    access plus a sub-pJ table probe.  The controller is buffet-class.
+    """
+    cap = cfg.sram_bytes
+    data = _data_area_mm2(cap)
+    table = chord_table_bits(cfg) * _TAG_MM2_PER_BIT
+    return StructureCost(
+        name="chord",
+        data_mm2=data,
+        metadata_mm2=table,
+        control_mm2=data * _BUFFET_CTRL_OVERHEAD,
+        energy_pj_per_access=_data_energy_pj(cap) + _CHORD_TABLE_PJ + _BUFFET_CTRL_PJ,
+    )
+
+
+def all_structure_costs(cfg: AcceleratorConfig) -> Dict[str, StructureCost]:
+    """Fig. 15's three structures (+ raw scratchpad for reference)."""
+    return {
+        c.name: c
+        for c in (
+            scratchpad_cost(cfg),
+            buffet_cost(cfg),
+            cache_cost(cfg),
+            chord_cost(cfg),
+        )
+    }
+
+
+def chord_metadata_ratio(cfg: AcceleratorConfig) -> float:
+    """CHORD-table bits / cache-tag bits (paper: ~0.01x, Sec. VI-A)."""
+    return chord_table_bits(cfg) / cache_tag_bits(cfg)
+
+
+#: DRAM access energy, pJ per byte (off-chip channel + device).  Absolute
+#: value only scales Fig. 14's y-axis; relative energies are ratios of DRAM
+#: traffic.
+DRAM_PJ_PER_BYTE = 20.0

@@ -1,0 +1,171 @@
+"""Operand→buffer binding: realizing pipelines/holds and steering the rest
+to CHORD (Sec. V-C "SCORE-CHORD Interface", Fig. 5 third box).
+
+Classification says which edges *may* pipeline; binding checks the
+schedule- and capacity-dependent conditions and produces per-tensor routes:
+
+* small tensors (fit the register file) live in the RF;
+* one adjacent pipelineable consumer per tensor can read from the pipeline
+  buffer (double-buffered tiles) when the co-dependence conditions hold;
+* delayed-hold consumers read held tiles, provided every hop of their
+  longest path is itself a realized pipeline and the hold window fits;
+* everything else — sequential and delayed-writeback consumers, plus any
+  tensor that must survive beyond the pipeline — goes through CHORD.
+
+A tensor whose consumers are all satisfied on-chip and which is not a
+program output is never written back at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.classify import ClassifiedDag, DependencyType
+from ..core.dag import Edge, TensorDag
+from ..hw.config import AcceleratorConfig
+from .loop_order import pipeline_conditions_met, schedule_adjacent
+from .schedule_ir import (
+    LoopOrder,
+    OpSchedule,
+    RealizedHold,
+    RealizedPipeline,
+    Route,
+    TensorPlacement,
+)
+from .swizzle import LayoutChoice
+from .tiling import tile_bytes_of
+
+
+@dataclass(frozen=True)
+class BindingOptions:
+    """Feature switches (ablations disable individual mechanisms)."""
+
+    enable_pipelining: bool = True
+    enable_holds: bool = True
+
+
+def realize_pipelines(
+    classified: ClassifiedDag,
+    op_schedules: Dict[str, OpSchedule],
+    layouts: Dict[str, LayoutChoice],
+    cfg: AcceleratorConfig,
+    options: BindingOptions,
+) -> Dict[Tuple[str, str, str], RealizedPipeline]:
+    """Pass 1: adjacent pipelineable edges whose conditions all hold."""
+    if not options.enable_pipelining:
+        return {}
+    dag = classified.dag
+    realized: Dict[Tuple[str, str, str], RealizedPipeline] = {}
+    for edge in dag.edges():
+        if classified.dep_of(edge) is not DependencyType.PIPELINEABLE:
+            continue
+        assert edge.src is not None
+        if not schedule_adjacent(dag.op_index(edge.src), dag.op_index(edge.dst)):
+            continue
+        swizzled = edge.dst in layouts[edge.tensor].swizzled_consumers
+        src_order = op_schedules[edge.src].loop_order
+        dst_order = op_schedules[edge.dst].loop_order
+        if not pipeline_conditions_met(edge, classified, src_order, dst_order, swizzled):
+            continue
+        tile = tile_bytes_of(dag.op(edge.src), op_schedules[edge.src])
+        if 2 * tile > cfg.pipeline_buffer_bytes:
+            continue  # cannot double-buffer a stage of this size
+        realized[edge.key()] = RealizedPipeline(
+            src=edge.src, dst=edge.dst, tensor=edge.tensor, tile_bytes=tile
+        )
+    return realized
+
+
+def realize_holds(
+    classified: ClassifiedDag,
+    op_schedules: Dict[str, OpSchedule],
+    pipelines: Dict[Tuple[str, str, str], RealizedPipeline],
+    cfg: AcceleratorConfig,
+    options: BindingOptions,
+) -> Dict[Tuple[str, str, str], RealizedHold]:
+    """Pass 2: delayed-hold edges whose carrier chain actually pipelines.
+
+    The tile can only ride the pipeline buffer to its delayed consumer if
+    every hop of the longest src→dst path is a realized pipeline; the hold
+    window (depth+2 tiles) must fit alongside the stages.
+    """
+    if not options.enable_holds:
+        return {}
+    dag = classified.dag
+    realized: Dict[Tuple[str, str, str], RealizedHold] = {}
+    for edge in dag.edges():
+        if classified.dep_of(edge) is not DependencyType.DELAYED_HOLD:
+            continue
+        assert edge.src is not None
+        path = dag.longest_path(edge.src, edge.dst)
+        assert path is not None and len(path) > 2
+        chain_ok = True
+        for a, b in zip(path, path[1:]):
+            hop_tensor = dag.path_edge_tensor(a, b)
+            if hop_tensor is None or (a, b, hop_tensor) not in pipelines:
+                chain_ok = False
+                break
+        if not chain_ok:
+            continue
+        tile = tile_bytes_of(dag.op(edge.src), op_schedules[edge.src])
+        depth = len(path) - 2
+        window = (depth + 2) * tile
+        if window > cfg.pipeline_buffer_bytes:
+            continue
+        realized[edge.key()] = RealizedHold(
+            src=edge.src, dst=edge.dst, tensor=edge.tensor,
+            depth=depth, window_bytes=window,
+        )
+    return realized
+
+
+def place_tensors(
+    classified: ClassifiedDag,
+    pipelines: Dict[Tuple[str, str, str], RealizedPipeline],
+    holds: Dict[Tuple[str, str, str], RealizedHold],
+    layouts: Dict[str, LayoutChoice],
+    cfg: AcceleratorConfig,
+) -> Dict[str, TensorPlacement]:
+    """Pass 3: per-tensor write route and per-consumer read routes."""
+    dag = classified.dag
+    outputs = set(dag.program_outputs())
+    placements: Dict[str, TensorPlacement] = {}
+    for spec in dag.tensors:
+        name = spec.name
+        producer = dag.producer_of(name)
+        consumers = dag.consumers_of(name)
+        layout = layouts[name]
+        small = spec.bytes <= cfg.rf_bytes
+        routes: Dict[str, Route] = {}
+        for c in consumers:
+            if small:
+                routes[c] = Route.REGISTER_FILE
+            elif producer is not None and (producer, c, name) in pipelines:
+                routes[c] = Route.PIPELINE
+            elif producer is not None and (producer, c, name) in holds:
+                routes[c] = Route.HOLD
+            else:
+                routes[c] = Route.CHORD
+        if producer is None:
+            write_route = Route.DRAM  # program inputs are born in DRAM
+        elif small:
+            write_route = Route.REGISTER_FILE
+        elif routes and all(
+            r in (Route.PIPELINE, Route.HOLD) for r in routes.values()
+        ) and name not in outputs:
+            write_route = Route.PIPELINE  # fully consumed on-chip: no writeback
+        else:
+            write_route = Route.CHORD
+        placements[name] = TensorPlacement(
+            tensor=name,
+            write_route=write_route,
+            consumer_routes=routes,
+            major_rank=(
+                spec.ranks[layout.major_dim].name
+                if layout.major_dim is not None and layout.major_dim < len(spec.ranks)
+                else None
+            ),
+            swizzled_consumers=layout.swizzled_consumers,
+        )
+    return placements

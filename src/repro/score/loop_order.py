@@ -1,0 +1,118 @@
+"""Loop-order selection and pipeline co-dependence conditions (Sec. V-B).
+
+SCORE keeps the *dominant* rank in the outermost loop: the large tensor is
+stationary tile-by-tile and the small tensor streams from the register
+file.  This single rule already achieves best-case intra-op reuse for
+skewed GEMMs (Sec. VII-A1's oracle), so no per-op schedule search is
+needed — the search-space blow-up lives entirely in buffer allocation,
+which CHORD absorbs.
+
+For a producer→consumer pair to actually pipeline, the paper lists four
+co-dependence conditions; classification established the first (the edge is
+pipelineable) and this module checks the remaining, schedule-dependent
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.classify import ClassifiedDag, DependencyType
+from ..core.dag import Edge
+from ..core.dominance import Dominance
+from ..core.einsum import EinsumOp
+from .schedule_ir import LoopOrder
+
+
+def natural_loop_order(op: EinsumOp, classified: ClassifiedDag) -> LoopOrder:
+    """SCORE's fixed loop order: dominant rank outermost.
+
+    After the dominant rank come the contracted ranks (the Sec. II-A
+    "schedule B" shape — ``for m1: for k: pfor n`` — which is also the CSR
+    SpMM traversal row→nonzero→column), then the remaining uncontracted
+    ranks; each group in decreasing traversal extent.  The two innermost
+    ranks are parallelised across the PE array (the ``pfor`` levels).
+    """
+    dom = classified.dominance[op.name]
+    rest = [r for r in op.all_ranks if r.name != dom.dominant_rank]
+    contracted = sorted(
+        (r for r in rest if r.name in op.contracted), key=lambda r: -r.traversal_size
+    )
+    uncontracted = sorted(
+        (r for r in rest if r.name not in op.contracted), key=lambda r: -r.traversal_size
+    )
+    names: list[str] = []
+    if dom.dominant_rank is not None:
+        names.append(dom.dominant_rank)
+    else:
+        # Balanced node: lead with the largest uncontracted rank so the op
+        # still streams its output (keeps ResNet chains pipelineable).
+        lead = max(
+            (r for r in op.all_ranks if r.name not in op.contracted),
+            key=lambda r: r.traversal_size,
+            default=op.all_ranks[0],
+        )
+        names.append(lead.name)
+        contracted = [r for r in contracted if r.name != lead.name]
+        uncontracted = [r for r in uncontracted if r.name != lead.name]
+    names.extend(r.name for r in contracted)
+    names.extend(r.name for r in uncontracted)
+    parallel = tuple(names[-2:]) if len(names) >= 2 else tuple(names)
+    return LoopOrder(ranks=tuple(names), parallel=parallel)
+
+
+def producer_streams_outermost(
+    op: EinsumOp, order: LoopOrder, classified: ClassifiedDag
+) -> bool:
+    """Condition 2: the source emits output tiles as its outermost loop
+    advances — true iff its outermost rank is uncontracted (a contracted
+    outermost loop only finishes the output at the very end)."""
+    return order.outermost not in op.contracted
+
+
+def consumer_shares_outermost(
+    consumer: EinsumOp, order: LoopOrder, tensor_name: str
+) -> bool:
+    """Condition 3: the destination's outermost loop walks a rank of the
+    shared tensor, so it eats tiles in production order."""
+    bound = consumer.input_named(tensor_name)
+    return bound.has_rank(order.outermost)
+
+
+def pipeline_conditions_met(
+    edge: Edge,
+    classified: ClassifiedDag,
+    src_order: LoopOrder,
+    dst_order: LoopOrder,
+    tensor_swizzled: bool,
+) -> bool:
+    """All four Sec. V-B conditions for realizing a pipeline on ``edge``.
+
+    1. the dependency is pipelineable (Algorithm 2);
+    2. the source has an uncontracted rank outermost;
+    3. the destination has a shared rank outermost;
+    4. the shared tensor is not swizzled between the two.
+    """
+    if edge.src is None:
+        return False
+    if classified.dep_of(edge) is not DependencyType.PIPELINEABLE:
+        return False
+    dag = classified.dag
+    src_op = dag.op(edge.src)
+    dst_op = dag.op(edge.dst)
+    if not producer_streams_outermost(src_op, src_order, classified):
+        return False
+    if not consumer_shares_outermost(dst_op, dst_order, edge.tensor):
+        return False
+    if tensor_swizzled:
+        return False
+    return True
+
+
+def schedule_adjacent(dag_index_src: int, dag_index_dst: int) -> bool:
+    """Pipelines bind producer and consumer to concurrent stages, which the
+    space-time schedule only provides for program-adjacent operations
+    (Fig. 5's binding step).  A pipelineable edge between distant ops
+    (e.g. X from CG line 3 to line 3 of the *next* iteration) degrades to a
+    CHORD round trip."""
+    return dag_index_dst == dag_index_src + 1

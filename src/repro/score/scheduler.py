@@ -1,0 +1,93 @@
+"""SCORE: the top-level scheduler (Sec. V, Fig. 5).
+
+``Score.schedule`` runs the whole pipeline:
+
+1. classify tensor-level dependencies (Algorithm 2);
+2. fix per-op loop orders (dominant rank outermost) and tilings;
+3. choose per-tensor layouts minimizing swizzle;
+4. realize pipelines and holds, steering the rest to CHORD;
+5. emit the coarse-grained per-tensor reuse hints CHORD's policies consume.
+
+SCORE deliberately does **not** search buffer allocations: that is the
+1e80-choice trap of Sec. VI-B.  Its output is O(nodes + edges) of metadata,
+and CHORD's implicit policies make the cycle-level decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..chord.hints import ReuseHints
+from ..core.classify import ClassifiedDag, classify_dependencies
+from ..core.dag import TensorDag
+from ..hw.config import DEFAULT_CONFIG, AcceleratorConfig
+from .binding import BindingOptions, place_tensors, realize_holds, realize_pipelines
+from .loop_order import natural_loop_order
+from .schedule_ir import Schedule
+from .swizzle import choose_all_layouts
+from .tiling import choose_tiling
+
+
+@dataclass(frozen=True)
+class ScoreOptions:
+    """Scheduler feature switches (each is an ablation axis)."""
+
+    enable_pipelining: bool = True
+    enable_holds: bool = True
+    minimize_swizzle: bool = True
+
+    def binding(self) -> BindingOptions:
+        return BindingOptions(
+            enable_pipelining=self.enable_pipelining,
+            enable_holds=self.enable_holds,
+        )
+
+
+class Score:
+    """The SCORE scheduler."""
+
+    def __init__(
+        self,
+        cfg: AcceleratorConfig = DEFAULT_CONFIG,
+        options: ScoreOptions = ScoreOptions(),
+    ) -> None:
+        self.cfg = cfg
+        self.options = options
+
+    def schedule(self, dag: TensorDag,
+                 classified: Optional[ClassifiedDag] = None) -> Schedule:
+        """Produce a full :class:`Schedule` for ``dag``."""
+        cdag = classified if classified is not None else classify_dependencies(dag)
+        orders = {op.name: natural_loop_order(op, cdag) for op in dag.ops}
+        op_schedules = {
+            op.name: choose_tiling(op, cdag, self.cfg, order=orders[op.name])
+            for op in dag.ops
+        }
+        layouts = choose_all_layouts(dag, orders, minimize=self.options.minimize_swizzle)
+        pipelines = realize_pipelines(
+            cdag, op_schedules, layouts, self.cfg, self.options.binding()
+        )
+        holds = realize_holds(
+            cdag, op_schedules, pipelines, self.cfg, self.options.binding()
+        )
+        placements = place_tensors(cdag, pipelines, holds, layouts, self.cfg)
+        hints = ReuseHints.from_dag(dag)
+        return Schedule(
+            dag=dag,
+            classified=cdag,
+            op_schedules=op_schedules,
+            placements=placements,
+            pipelines=pipelines,
+            holds=holds,
+            hints=hints,
+        )
+
+
+def schedule_program(
+    dag: TensorDag,
+    cfg: AcceleratorConfig = DEFAULT_CONFIG,
+    options: ScoreOptions = ScoreOptions(),
+) -> Schedule:
+    """Convenience one-shot: classify + schedule ``dag``."""
+    return Score(cfg, options).schedule(dag)

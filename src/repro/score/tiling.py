@@ -1,0 +1,119 @@
+"""Tiling of skewed operations (Sec. V-B "Tiling" and "Handling sparsity").
+
+Skewed GEMMs have one large tensor (tiled along the dominant rank, one tile
+stationary at a time) and one small tensor (resident in the register file,
+streamed).  Sparse operands tile by *occupancy*: row ranges are chosen so
+each tile carries roughly equal nnz, which achieves the best possible
+arithmetic intensity for the SpMM (each stored entry is touched once).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classify import ClassifiedDag
+from ..core.einsum import EinsumOp
+from ..hw.config import AcceleratorConfig
+from .loop_order import natural_loop_order
+from .schedule_ir import LoopOrder, OpSchedule
+
+
+def _largest_input(op: EinsumOp) -> Optional[str]:
+    """Input tensor with the biggest footprint (the stationary one)."""
+    if not op.inputs:
+        return None
+    return max(op.inputs, key=lambda t: t.bytes).name
+
+
+def choose_tiling(
+    op: EinsumOp,
+    classified: ClassifiedDag,
+    cfg: AcceleratorConfig,
+    order: Optional[LoopOrder] = None,
+) -> OpSchedule:
+    """Tile ``op`` along its outermost rank so one tile of the *output*
+    fits a pipeline stage budget.
+
+    The stage budget is an eighth of the pipeline buffer: a realized
+    pipeline needs two tiles resident (double buffering) plus headroom for
+    hold windows, and tests pin that ``2 * tile_bytes`` always fits.
+    """
+    if order is None:
+        order = natural_loop_order(op, classified)
+    tile_rank = order.outermost
+    rank = op.rank(tile_rank)
+    out = op.output
+    # Bytes of output (or largest operand carrying the rank) per unit of the
+    # tiled rank.
+    carrier = out if out.has_rank(tile_rank) else op.input_named(_largest_input(op) or out.name)
+    if carrier.has_rank(tile_rank):
+        bytes_per_unit = max(1, carrier.bytes // rank.size)
+    else:
+        bytes_per_unit = max(1, carrier.bytes // rank.size)
+    stage_budget = max(cfg.line_bytes, cfg.pipeline_buffer_bytes // 8)
+    tile_size = max(1, min(rank.size, stage_budget // bytes_per_unit))
+    n_tiles = math.ceil(rank.size / tile_size)
+    small = tuple(
+        t.name for t in op.inputs if t.bytes <= cfg.rf_bytes and t.name != _largest_input(op)
+    )
+    return OpSchedule(
+        op_name=op.name,
+        loop_order=order,
+        tile_rank=tile_rank,
+        tile_size=tile_size,
+        n_tiles=n_tiles,
+        stationary_tensor=_largest_input(op),
+        rf_tensors=small,
+    )
+
+
+def tile_bytes_of(op: EinsumOp, sched: OpSchedule) -> int:
+    """Bytes of one output tile under ``sched`` (pipeline stage size)."""
+    out = op.output
+    if sched.tile_rank and out.has_rank(sched.tile_rank):
+        per_unit = max(1, out.bytes // op.rank(sched.tile_rank).size)
+        return per_unit * sched.tile_size
+    return out.bytes
+
+
+def occupancy_tiles(row_nnz: Sequence[int], n_tiles: int) -> List[Tuple[int, int]]:
+    """Split rows into ``n_tiles`` contiguous ranges of ~equal nnz.
+
+    Returns half-open row ranges ``[(start, end), ...]`` covering all rows.
+    Greedy prefix-sum splitting: each tile closes once it reaches the ideal
+    share, guaranteeing every tile holds < ideal + max_row_nnz entries.
+    """
+    if n_tiles <= 0:
+        raise ValueError("n_tiles must be positive")
+    rows = len(row_nnz)
+    if rows == 0:
+        return [(0, 0)] * n_tiles
+    total = int(np.sum(row_nnz))
+    ideal = total / n_tiles if total else 0
+    tiles: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for r, c in enumerate(row_nnz):
+        acc += int(c)
+        remaining_tiles = n_tiles - len(tiles)
+        remaining_rows = rows - r - 1
+        if (acc >= ideal and remaining_tiles > 1) or remaining_rows < remaining_tiles - 1:
+            tiles.append((start, r + 1))
+            start = r + 1
+            acc = 0
+            if len(tiles) == n_tiles - 1:
+                break
+    tiles.append((start, rows))
+    while len(tiles) < n_tiles:
+        tiles.append((rows, rows))
+    return tiles
+
+
+def tile_nnz(row_nnz: Sequence[int], tiles: Sequence[Tuple[int, int]]) -> List[int]:
+    """nnz per occupancy tile (for load-balance checks)."""
+    arr = np.asarray(row_nnz)
+    return [int(arr[s:e].sum()) for s, e in tiles]

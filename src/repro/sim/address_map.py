@@ -1,0 +1,78 @@
+"""Global address map: one contiguous, line-aligned range per tensor.
+
+CHORD's whole metadata story rests on tensors being contiguous and ordered
+in the global address map (Fig. 10: hit = compare against ``end_chord``,
+index = offset arithmetic).  The cache baselines consume the same map so
+set-index behaviour reflects real tensor placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..core.dag import TensorDag
+from ..core.tensor import TensorSpec
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A tensor's byte range in the global address space."""
+
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressMap:
+    """Bump allocator assigning line-aligned extents in registration order."""
+
+    def __init__(self, line_bytes: int = 16, base: int = 0x1000_0000) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        self.line_bytes = line_bytes
+        self._next = self._align(base)
+        self._extents: Dict[str, Extent] = {}
+
+    def _align(self, addr: int) -> int:
+        rem = addr % self.line_bytes
+        return addr if rem == 0 else addr + (self.line_bytes - rem)
+
+    def add(self, name: str, nbytes: int) -> Extent:
+        if name in self._extents:
+            raise ValueError(f"tensor {name!r} already mapped")
+        if nbytes < 0:
+            raise ValueError("size must be non-negative")
+        ext = Extent(base=self._next, nbytes=nbytes)
+        self._extents[name] = ext
+        self._next = self._align(ext.end)
+        return ext
+
+    def get(self, name: str) -> Extent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise KeyError(f"tensor {name!r} not mapped") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extents
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def base_addrs(self) -> Dict[str, int]:
+        return {n: e.base for n, e in self._extents.items()}
+
+    @classmethod
+    def for_dag(cls, dag: TensorDag, line_bytes: int = 16) -> "AddressMap":
+        """Map every tensor of ``dag`` in first-appearance order."""
+        amap = cls(line_bytes=line_bytes)
+        for t in dag.tensors:
+            amap.add(t.name, t.bytes)
+        return amap

@@ -1,0 +1,41 @@
+"""DRAM channel: the traffic ledger every engine writes into.
+
+All figures reduce to DRAM bytes (performance via the roofline, energy via
+pJ/byte), so engines funnel every off-chip transfer through one
+:class:`DramChannel` for auditable totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DramChannel:
+    """Byte-exact read/write ledger with per-reason attribution."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def read(self, nbytes: int, reason: str = "read") -> None:
+        if nbytes < 0:
+            raise ValueError("read bytes must be non-negative")
+        self.read_bytes += nbytes
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + nbytes
+
+    def write(self, nbytes: int, reason: str = "write") -> None:
+        if nbytes < 0:
+            raise ValueError("write bytes must be non-negative")
+        self.write_bytes += nbytes
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def merge_stats(self, read_bytes: int, write_bytes: int, reason: str) -> None:
+        """Fold a buffer model's accumulated DRAM traffic into the ledger."""
+        self.read(read_bytes, reason=f"{reason}:read")
+        self.write(write_bytes, reason=f"{reason}:write")

@@ -1,0 +1,73 @@
+"""Energy accounting (Fig. 14 off-chip, Fig. 15 per-access on-chip).
+
+Off-chip energy is proportional to DRAM traffic; on-chip energy charges
+each structure's per-access cost from the CACTI-style model.  Fig. 14 plots
+*relative off-chip* energy, so the DRAM constant cancels; it is still
+applied so absolute joules are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..hw.config import AcceleratorConfig
+from ..hw.sram_model import DRAM_PJ_PER_BYTE, all_structure_costs
+from .results import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component for one run."""
+
+    offchip_j: float
+    onchip_j: float
+    per_structure_j: Mapping[str, float]
+
+    @property
+    def total_j(self) -> float:
+        return self.offchip_j + self.onchip_j
+
+
+def offchip_energy_j(dram_bytes: int) -> float:
+    return dram_bytes * DRAM_PJ_PER_BYTE * 1e-12
+
+
+def onchip_energy_j(
+    accesses_by_structure: Mapping[str, int],
+    cfg: AcceleratorConfig,
+) -> Dict[str, float]:
+    """Per-structure on-chip energy.
+
+    ``accesses_by_structure`` maps a structure name (``cache``, ``chord``,
+    ``buffet``, ``scratchpad``) to its access count *in line-sized units*
+    (byte-counting models divide by ``cfg.line_bytes`` before calling).
+    Unknown structures (``rf``, ``pipeline``) are charged at a nominal
+    small-buffer cost.
+    """
+    costs = all_structure_costs(cfg)
+    small_structure_pj = 0.5  # RF / pipeline stage: small, banked, cheap
+    out: Dict[str, float] = {}
+    for name, n in accesses_by_structure.items():
+        if n < 0:
+            raise ValueError(f"negative access count for {name!r}")
+        if name in costs:
+            pj = costs[name].energy_pj_per_access
+        else:
+            pj = small_structure_pj
+        out[name] = n * pj * 1e-12
+    return out
+
+
+def energy_of(result: SimResult, cfg: AcceleratorConfig) -> EnergyBreakdown:
+    """Full energy breakdown of a simulation result.
+
+    Engines normalise ``onchip_accesses`` to line-sized units before
+    storing them, so counts are charged directly.
+    """
+    per = onchip_energy_j(result.onchip_accesses, cfg)
+    return EnergyBreakdown(
+        offchip_j=offchip_energy_j(result.dram_bytes),
+        onchip_j=sum(per.values()),
+        per_structure_j=per,
+    )

@@ -1,0 +1,194 @@
+"""Execution engines: schedule-driven (CELLO-class) and trace-driven
+(cache-class).
+
+``ScheduleEngine`` walks the program in order, routing every tensor event
+through the buffer its SCORE placement names: register file, pipeline
+buffer, hold slots, or CHORD.  ``CacheEngine`` replays the best-intra-op
+stream trace through a set-associative cache.  Both emit a
+:class:`~repro.sim.results.SimResult` built on the roofline performance
+model, so every Table IV configuration is directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..buffers.cache import ReplacementPolicy, SetAssociativeCache
+from ..chord.buffer import ChordBuffer
+from ..chord.metadata import RiffIndexTable
+from ..core.dag import TensorDag
+from ..hw.config import AcceleratorConfig
+from ..score.schedule_ir import Route, Schedule
+from .address_map import AddressMap
+from .dram import DramChannel
+from .perf import make_result
+from .results import SimResult
+from .trace import auto_granularity, program_trace, trace_bytes
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Behavioural switches of the schedule-driven engine (ablation axes)."""
+
+    use_riff: bool = True           # RIFF replacement (off = PRELUDE-only)
+    explicit_retire: bool = True    # free dead tensors at last use
+    charge_swizzle: bool = True     # charge a DRAM round trip per swizzle
+    chord_entries: Optional[int] = None  # override index-table capacity
+
+
+class ScheduleEngine:
+    """Runs a SCORE :class:`Schedule` against CHORD + pipeline buffer + RF."""
+
+    def __init__(self, cfg: AcceleratorConfig,
+                 options: EngineOptions = EngineOptions()) -> None:
+        self.cfg = cfg
+        self.options = options
+        #: The CHORD instance of the most recent ``run`` — kept for
+        #: post-mortem auditing (per-tensor traffic, occupancy timeline).
+        self.last_chord: Optional[ChordBuffer] = None
+        self.last_dram: Optional[DramChannel] = None
+
+    def run(self, schedule: Schedule, config_name: str = "cello",
+            workload_name: str = "workload") -> SimResult:
+        cfg = self.cfg
+        dag = schedule.dag
+        hints = schedule.hints
+        amap = AddressMap.for_dag(dag, line_bytes=cfg.line_bytes)
+        entries = self.options.chord_entries or cfg.chord_entries
+        chord = ChordBuffer(
+            capacity_bytes=cfg.chord_data_bytes,
+            hints=hints,
+            use_riff=self.options.use_riff,
+            table=RiffIndexTable(entries, cfg.chord_entry_bits),
+            base_addrs=amap.base_addrs(),
+        )
+        dram = DramChannel()
+        rf_bytes_touched = 0
+        pipe_bytes_touched = 0
+        touched: Set[str] = set()
+
+        for i, op in enumerate(dag.ops):
+            for t in op.inputs:
+                name = t.name
+                placement = schedule.placement(name)
+                route = placement.route_for(op.name)
+                nbytes = dag.tensor(name).bytes
+                if (
+                    self.options.charge_swizzle
+                    and op.name in placement.swizzled_consumers
+                    and route is not Route.REGISTER_FILE
+                ):
+                    # Layout transform: stream the tensor out and back in
+                    # its new order before this consumer can run.
+                    dram.read(nbytes, reason="swizzle")
+                    dram.write(nbytes, reason="swizzle")
+                if route is Route.REGISTER_FILE:
+                    if dag.producer_of(name) is None and name not in touched:
+                        dram.read(nbytes, reason="cold-input")
+                    rf_bytes_touched += nbytes
+                elif route in (Route.PIPELINE, Route.HOLD):
+                    pipe_bytes_touched += nbytes
+                elif route is Route.CHORD:
+                    chord.read(name, i)
+                elif route is Route.DRAM:
+                    dram.read(nbytes, reason="direct")
+                touched.add(name)
+
+            out = op.output
+            placement = schedule.placement(out.name)
+            wr = placement.write_route
+            nbytes = dag.tensor(out.name).bytes
+            if wr is Route.REGISTER_FILE:
+                rf_bytes_touched += nbytes
+            elif wr is Route.PIPELINE:
+                pipe_bytes_touched += nbytes
+            elif wr is Route.CHORD:
+                chord.write(out.name, i)
+            elif wr is Route.DRAM:
+                dram.write(nbytes, reason="direct")
+            touched.add(out.name)
+
+            if self.options.explicit_retire:
+                for t in op.inputs:
+                    h = hints.get(t.name)
+                    if h.last_use() == i:
+                        chord.retire(t.name)
+
+        chord.finalize()
+        # Program outputs that never routed through CHORD (small RF-resident
+        # results like a GNN's logits) still drain to DRAM exactly once.
+        for name in dag.program_outputs():
+            if schedule.placement(name).write_route in (
+                Route.REGISTER_FILE, Route.PIPELINE
+            ):
+                dram.write(dag.tensor(name).bytes, reason="output-drain")
+        dram.merge_stats(
+            chord.stats.dram_read_bytes, chord.stats.dram_write_bytes, "chord"
+        )
+        self.last_chord = chord
+        self.last_dram = dram
+        total_macs = sum(op.macs for op in dag.ops)
+        onchip = {
+            "chord": chord.stats.accesses // cfg.line_bytes,
+            "rf": rf_bytes_touched // cfg.line_bytes,
+            "pipeline": pipe_bytes_touched // cfg.line_bytes,
+        }
+        return make_result(
+            config=config_name,
+            workload=workload_name,
+            total_macs=total_macs,
+            dram_read_bytes=dram.read_bytes,
+            dram_write_bytes=dram.write_bytes,
+            cfg=cfg,
+            onchip_accesses=onchip,
+        )
+
+
+class CacheEngine:
+    """Replays the best-intra-op trace through an implicit cache
+    (the Flex+LRU / Flex+BRRIP baselines)."""
+
+    def __init__(
+        self,
+        cfg: AcceleratorConfig,
+        policy: ReplacementPolicy,
+        granularity: Optional[int] = None,
+        interleave_chunk: int = 4096,
+    ) -> None:
+        self.cfg = cfg
+        self.policy = policy
+        self.granularity = granularity
+        self.interleave_chunk = interleave_chunk
+
+    def run(self, dag: TensorDag, config_name: str = "cache",
+            workload_name: str = "workload") -> SimResult:
+        cfg = self.cfg
+        amap = AddressMap.for_dag(dag, line_bytes=cfg.line_bytes)
+        segments = program_trace(
+            dag, amap,
+            interleave_chunk=self.interleave_chunk,
+            rf_bytes=cfg.rf_bytes,
+        )
+        total = trace_bytes(segments)
+        g = self.granularity or auto_granularity(total, cfg.line_bytes)
+        block_bytes = cfg.line_bytes * g
+        cache = SetAssociativeCache(
+            capacity_bytes=cfg.sram_bytes,
+            line_bytes=block_bytes,
+            associativity=cfg.cache_associativity,
+            policy=self.policy,
+        )
+        for seg in segments:
+            cache.access_range(seg.start, seg.nbytes, seg.is_write)
+        cache.flush()
+        total_macs = sum(op.macs for op in dag.ops)
+        return make_result(
+            config=config_name,
+            workload=workload_name,
+            total_macs=total_macs,
+            dram_read_bytes=cache.stats.dram_read_bytes,
+            dram_write_bytes=cache.stats.dram_write_bytes,
+            cfg=cfg,
+            onchip_accesses={"cache": cache.stats.accesses * g},
+        )

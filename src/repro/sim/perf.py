@@ -1,0 +1,53 @@
+"""Roofline performance model (Sec. VII-A2).
+
+The paper's performance numbers are roofline-bound: "the efficiency within
+the compute array does not matter significantly in this work since stalls
+due to memory bandwidth dominate the delay".  Execution time is therefore
+``max(compute stream, DRAM stream)``:
+
+* compute: total MACs at one MAC/unit/cycle across ``n_macs`` units;
+* memory: total DRAM bytes at the configured bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..hw.config import AcceleratorConfig
+from .results import SimResult
+
+
+def compute_seconds(total_macs: int, cfg: AcceleratorConfig) -> float:
+    """Ideal datapath time for ``total_macs``."""
+    if total_macs < 0:
+        raise ValueError("MAC count must be non-negative")
+    return total_macs / cfg.peak_macs_per_s
+
+
+def memory_seconds(dram_bytes: int, cfg: AcceleratorConfig) -> float:
+    """DRAM streaming time for ``dram_bytes``."""
+    if dram_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    return dram_bytes / cfg.dram_bandwidth_bytes_per_s
+
+
+def make_result(
+    config: str,
+    workload: str,
+    total_macs: int,
+    dram_read_bytes: int,
+    dram_write_bytes: int,
+    cfg: AcceleratorConfig,
+    onchip_accesses: Optional[Mapping[str, int]] = None,
+) -> SimResult:
+    """Assemble a :class:`SimResult` from traffic + the roofline model."""
+    return SimResult(
+        config=config,
+        workload=workload,
+        total_macs=total_macs,
+        dram_read_bytes=dram_read_bytes,
+        dram_write_bytes=dram_write_bytes,
+        compute_s=compute_seconds(total_macs, cfg),
+        memory_s=memory_seconds(dram_read_bytes + dram_write_bytes, cfg),
+        onchip_accesses=dict(onchip_accesses or {}),
+    )

@@ -1,0 +1,106 @@
+"""Simulation result records and cross-config aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of running one (workload, configuration) pair.
+
+    All downstream figures derive from three primitives: MAC count, DRAM
+    traffic, and per-structure on-chip access counts.
+    """
+
+    config: str
+    workload: str
+    total_macs: int
+    dram_read_bytes: int
+    dram_write_bytes: int
+    compute_s: float
+    memory_s: float
+    onchip_accesses: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def time_s(self) -> float:
+        """Roofline execution time: max of compute and memory streams."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def throughput_gmacs(self) -> float:
+        """GigaMACs/s — the paper's GigaFPMuls/second axis."""
+        if self.time_s <= 0:
+            return float("inf")
+        return self.total_macs / self.time_s / 1e9
+
+    @property
+    def effective_intensity(self) -> float:
+        """Achieved ops/byte over the whole run."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.total_macs / self.dram_bytes
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_s >= self.compute_s
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        if self.time_s <= 0:
+            return float("inf")
+        return baseline.time_s / self.time_s
+
+    def dram_reduction_vs(self, baseline: "SimResult") -> float:
+        """Fraction of baseline DRAM traffic eliminated (0..1)."""
+        if baseline.dram_bytes <= 0:
+            return 0.0
+        return 1.0 - self.dram_bytes / baseline.dram_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "config": self.config,
+            "workload": self.workload,
+            "total_macs": self.total_macs,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "dram_bytes": self.dram_bytes,
+            "time_s": self.time_s,
+            "throughput_gmacs": self.throughput_gmacs,
+            "effective_intensity": self.effective_intensity,
+        }
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregation)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_speedup(results: Sequence[SimResult],
+                    baselines: Sequence[SimResult]) -> float:
+    """Geomean of pairwise speedups (paired by position)."""
+    if len(results) != len(baselines):
+        raise ValueError("results and baselines must pair up")
+    return geomean(r.speedup_over(b) for r, b in zip(results, baselines))
+
+
+def relative_energy(results: Mapping[str, SimResult],
+                    reference: str) -> Dict[str, float]:
+    """Off-chip energy of each config relative to ``reference`` (Fig. 14's
+    y-axis — energy is proportional to DRAM traffic)."""
+    ref = results[reference]
+    if ref.dram_bytes <= 0:
+        raise ValueError("reference moved no DRAM bytes")
+    return {
+        name: r.dram_bytes / ref.dram_bytes for name, r in results.items()
+    }

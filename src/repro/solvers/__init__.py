@@ -1,0 +1,25 @@
+"""Executable numeric solvers validating the workload DAGs."""
+
+from .blockcg import BlockCgResult, block_cg, classic_cg
+from .bicgstab import BiCgStabResult, bicgstab, block_bicgstab
+from .reference import (
+    CG_SEMANTICS,
+    GNN_SEMANTICS,
+    einsum_expr,
+    execute_cg_dag,
+    execute_dag,
+)
+
+__all__ = [
+    "BlockCgResult",
+    "block_cg",
+    "classic_cg",
+    "BiCgStabResult",
+    "bicgstab",
+    "block_bicgstab",
+    "CG_SEMANTICS",
+    "GNN_SEMANTICS",
+    "einsum_expr",
+    "execute_cg_dag",
+    "execute_dag",
+]

@@ -1,0 +1,114 @@
+"""Numeric BiCGStab (van der Vorst [38]) — the Fig. 13 PDE solver.
+
+Column-wise block variant: each right-hand side runs the scalar recurrence
+independently (the DAG builder fuses them into skewed M×N tensor ops; the
+numerics are identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class BiCgStabResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: List[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else float("inf")
+
+
+def bicgstab(
+    a: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 1000,
+    tol: float = 1e-8,
+) -> BiCgStabResult:
+    """Solve ``A x = b`` (A need not be symmetric)."""
+    a = a.tocsr()
+    m = a.shape[0]
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if b.size != m:
+        raise ValueError(f"b must have {m} entries")
+    x = np.zeros(m) if x0 is None else np.array(x0, dtype=np.float64, copy=True).ravel()
+
+    r = b - a @ x
+    r0 = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros(m)
+    p = np.zeros(m)
+    bnorm = max(float(np.linalg.norm(b)), 1e-300)
+    history: List[float] = [float(np.linalg.norm(r)) / bnorm]
+
+    for it in range(max_iterations):
+        rho_new = float(r0 @ r)
+        if abs(rho_new) < 1e-300:
+            return BiCgStabResult(x=x, iterations=it, converged=False,
+                                  residual_history=history)
+        beta = (rho_new / rho) * (alpha / omega)
+        rho = rho_new
+        p = r + beta * (p - omega * v)
+        v = a @ p
+        denom = float(r0 @ v)
+        if abs(denom) < 1e-300:
+            return BiCgStabResult(x=x, iterations=it, converged=False,
+                                  residual_history=history)
+        alpha = rho / denom
+        s = r - alpha * v
+        if np.linalg.norm(s) / bnorm < tol:
+            x += alpha * p
+            history.append(float(np.linalg.norm(s)) / bnorm)
+            return BiCgStabResult(x=x, iterations=it + 1, converged=True,
+                                  residual_history=history)
+        t = a @ s
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > 0 else 0.0
+        x += alpha * p + omega * s
+        r = s - omega * t
+        history.append(float(np.linalg.norm(r)) / bnorm)
+        if history[-1] < tol:
+            return BiCgStabResult(x=x, iterations=it + 1, converged=True,
+                                  residual_history=history)
+        if omega == 0.0:
+            return BiCgStabResult(x=x, iterations=it + 1, converged=False,
+                                  residual_history=history)
+    return BiCgStabResult(x=x, iterations=max_iterations, converged=False,
+                          residual_history=history)
+
+
+def block_bicgstab(
+    a: sp.spmatrix,
+    b: np.ndarray,
+    max_iterations: int = 1000,
+    tol: float = 1e-8,
+) -> BiCgStabResult:
+    """Column-wise block BiCGStab: solve each RHS column independently."""
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if b.shape[0] != a.shape[0]:
+        b = b.T
+    cols = []
+    iters = 0
+    conv = True
+    hist: List[float] = []
+    for j in range(b.shape[1]):
+        res = bicgstab(a, b[:, j], max_iterations=max_iterations, tol=tol)
+        cols.append(res.x)
+        iters = max(iters, res.iterations)
+        conv = conv and res.converged
+        if len(res.residual_history) > len(hist):
+            hist = res.residual_history
+    return BiCgStabResult(
+        x=np.stack(cols, axis=1),
+        iterations=iters,
+        converged=conv,
+        residual_history=hist,
+    )

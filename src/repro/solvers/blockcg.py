@@ -1,0 +1,102 @@
+"""Numeric block Conjugate Gradient — Algorithm 1, executable.
+
+Block CG runs ``N`` right-hand sides / initial guesses simultaneously
+(Eq. 2), turning every vector recurrence into a skewed M×N GEMM — the
+workload shape the whole paper is about.  For N = 1 it reduces exactly to
+classic CG (Λ = α, Φ = β).
+
+Small N×N systems are solved with ``np.linalg.solve`` rather than explicit
+inverses (same operation count, better conditioning); the DAG builder still
+models them as the paper's ``inv`` nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class BlockCgResult:
+    """Outcome of a block-CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: List[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else float("inf")
+
+
+def block_cg(
+    a: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 1000,
+    tol: float = 1e-8,
+) -> BlockCgResult:
+    """Solve ``A X = B`` for SPD sparse ``A`` with block width ``B.shape[1]``.
+
+    Follows Algorithm 1 line by line; the convergence test is the paper's
+    ``all(diag(Γ)) ≤ ε`` with ε scaled by the initial residual.
+    """
+    a = a.tocsr()
+    m = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("A must be square")
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if b.shape[0] != m:
+        b = b.T
+    if b.shape[0] != m:
+        raise ValueError(f"B must have {m} rows, got {b.shape}")
+    n = b.shape[1]
+    x = np.zeros((m, n)) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    if x.shape != (m, n):
+        raise ValueError(f"X0 must be {(m, n)}, got {x.shape}")
+
+    r = b - a @ x                    # R = B - A X
+    gamma = r.T @ r                  # Γ = Rᵀ R
+    p = r.copy()                     # P = R
+    eps = tol * max(1.0, float(np.max(np.diag(gamma))))
+    history: List[float] = [float(np.sqrt(np.max(np.diag(gamma))))]
+
+    for it in range(max_iterations):
+        s = a @ p                                        # line 1 (SpMM)
+        delta = p.T @ s                                  # line 2: Δ = Pᵀ S
+        lam = np.linalg.solve(delta, gamma)              # Λ = Δ⁻¹ Γ
+        x += p @ lam                                     # line 3
+        r -= s @ lam                                     # line 4
+        gamma_prev = gamma
+        gamma = r.T @ r                                  # line 5
+        history.append(float(np.sqrt(np.max(np.abs(np.diag(gamma))))))
+        if np.all(np.abs(np.diag(gamma)) <= eps):        # convergence check
+            return BlockCgResult(x=x, iterations=it + 1, converged=True,
+                                 residual_history=history)
+        phi = np.linalg.solve(gamma_prev, gamma)         # line 6: Φ
+        p = r + p @ phi                                  # line 7
+    return BlockCgResult(x=x, iterations=max_iterations, converged=False,
+                         residual_history=history)
+
+
+def classic_cg(
+    a: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 1000,
+    tol: float = 1e-8,
+) -> BlockCgResult:
+    """Classic single-vector CG — block CG with N = 1 (cross-check)."""
+    b = np.asarray(b, dtype=np.float64).reshape(-1, 1)
+    x0r = None if x0 is None else np.asarray(x0, dtype=np.float64).reshape(-1, 1)
+    res = block_cg(a, b, x0=x0r, max_iterations=max_iterations, tol=tol)
+    return BlockCgResult(
+        x=res.x.ravel(),
+        iterations=res.iterations,
+        converged=res.converged,
+        residual_history=res.residual_history,
+    )

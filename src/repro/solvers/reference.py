@@ -1,0 +1,176 @@
+"""Reference executor: run a tensor DAG numerically.
+
+Validates that the DAG builders wire exactly the computation the paper's
+Algorithm 1 (and the GNN/ResNet blocks) perform: executing the CG DAG over
+concrete arrays must reproduce :func:`repro.solvers.blockcg.block_cg`
+bit-for-bit (same floating-point operation order).
+
+Generic MAC ops execute via ``np.einsum`` derived from their rank
+bindings; INVERSE ops solve the small system; workload-specific semantics
+(the CG element-wise updates, the SpMM over a scipy matrix) dispatch on op
+name prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+
+Array = np.ndarray
+OpSemantics = Callable[[Sequence[np.ndarray], EinsumOp], np.ndarray]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def einsum_expr(op: EinsumOp) -> str:
+    """Build the ``np.einsum`` subscript string from the op's bindings."""
+    symbol: Dict[str, str] = {}
+
+    def sym(rank: str) -> str:
+        if rank not in symbol:
+            if len(symbol) >= len(_LETTERS):
+                raise ValueError("too many distinct ranks for einsum letters")
+            symbol[rank] = _LETTERS[len(symbol)]
+        return symbol[rank]
+
+    ins = ",".join("".join(sym(r.name) for r in t.ranks) for t in op.inputs)
+    out = "".join(sym(r.name) for r in op.output.ranks)
+    return f"{ins}->{out}"
+
+
+def _exec_mac(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    return np.einsum(einsum_expr(op), *arrays)
+
+
+def _exec_inverse(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    """INVERSE nodes: out = inv(in0) @ in1 (solved, not inverted)."""
+    if len(arrays) != 2:
+        raise ValueError(f"inverse op {op.name!r} needs two inputs")
+    return np.linalg.solve(arrays[0], arrays[1])
+
+
+# -- CG-specific semantics (element-wise updates and the sparse MAC) -----------
+
+def _cg_spmm(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    a, p = arrays
+    return a @ p
+
+
+def _cg_xupd(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    x, p, lam = arrays
+    return x + p @ lam
+
+
+def _cg_rupd(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    r, s, lam = arrays
+    return r - s @ lam
+
+
+def _cg_gram(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    (r,) = arrays
+    return r.T @ r
+
+
+def _cg_pupd(arrays: Sequence[np.ndarray], op: EinsumOp) -> np.ndarray:
+    r, p, phi = arrays
+    return r + p @ phi
+
+
+CG_SEMANTICS: Dict[str, OpSemantics] = {
+    "1:": _cg_spmm,
+    "3:": _cg_xupd,
+    "4:": _cg_rupd,
+    "5:": _cg_gram,
+    "7:": _cg_pupd,
+}
+
+GNN_SEMANTICS: Dict[str, OpSemantics] = {
+    "agg@": _cg_spmm,  # Â @ X: same sparse-matmul shape
+}
+
+
+def execute_dag(
+    dag: TensorDag,
+    inputs: Mapping[str, object],
+    semantics: Optional[Mapping[str, OpSemantics]] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute ``dag`` in program order over concrete arrays.
+
+    ``inputs`` provides program-input tensors (scipy sparse allowed where a
+    prefix semantic consumes it).  ``semantics`` maps op-name *prefixes* to
+    custom callables; MAC/INVERSE ops without a matching prefix execute
+    generically.  Returns all produced tensors by name.
+    """
+    semantics = dict(semantics or {})
+    values: Dict[str, object] = dict(inputs)
+    for name in dag.program_inputs():
+        if name not in values:
+            raise KeyError(f"missing program input {name!r}")
+    for op in dag.ops:
+        arrays = []
+        for t in op.inputs:
+            if t.name not in values:
+                raise KeyError(f"op {op.name!r}: input {t.name!r} not computed yet")
+            arrays.append(values[t.name])
+        fn: Optional[OpSemantics] = None
+        for prefix, cand in semantics.items():
+            if op.name.startswith(prefix):
+                fn = cand
+                break
+        if fn is None:
+            if op.kind is OpKind.TENSOR_MAC:
+                fn = _exec_mac
+            elif op.kind is OpKind.INVERSE:
+                fn = _exec_inverse
+            else:
+                raise ValueError(
+                    f"op {op.name!r} is {op.kind.value} and has no semantics; "
+                    "provide a prefix override"
+                )
+        result = fn(arrays, op)  # type: ignore[arg-type]
+        expected = dag.tensor(op.output.name).shape
+        if tuple(np.shape(result)) != tuple(expected):
+            raise ValueError(
+                f"op {op.name!r} produced shape {np.shape(result)}, "
+                f"spec says {expected}"
+            )
+        values[op.output.name] = result
+    return {
+        k: v for k, v in values.items()
+        if isinstance(v, np.ndarray) and dag.producer_of(k) is not None
+    }
+
+
+def execute_cg_dag(
+    dag: TensorDag,
+    a: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute a CG DAG built by :func:`repro.workloads.cg.build_cg_dag`.
+
+    Derives the program inputs (P@0, R@0, X@0, Γ@0) from A, B, X0 exactly
+    as Algorithm 1's prologue does, then runs the DAG.
+    """
+    a = a.tocsr()
+    m = a.shape[0]
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if b.shape[0] != m:
+        b = b.T
+    n = b.shape[1]
+    x = np.zeros((m, n)) if x0 is None else np.asarray(x0, dtype=np.float64)
+    r = b - a @ x
+    gamma = r.T @ r
+    inputs = {
+        "A": a,
+        "P@0": r.copy(),
+        "R@0": r.copy(),
+        "X@0": x.copy(),
+        "Gamma@0": gamma,
+    }
+    return execute_dag(dag, inputs, semantics=CG_SEMANTICS)

@@ -1,0 +1,153 @@
+"""BiCGStab as a tensor dependency DAG (Fig. 13's second PDE solver).
+
+Van der Vorst's stabilised bi-conjugate gradient [38] solves the same
+systems as CG without requiring symmetry.  One iteration, with scalar
+recurrences folded into the vector operations they feed (they are
+O(N²) work on N×N' tensors and irrelevant to traffic):
+
+====  ==============================  =========  =====================
+step  einsum                          dominance  notes
+====  ==============================  =========  =====================
+r     ρ  = R₀ᵀ · R_i                  C          Gram with fixed R₀
+p     P' = R_i + β(P_i − ω V_i)       U          element-wise update
+v     V' = A · P'                     U          SpMM
+a     α  = R₀ᵀ · V'                   C          Gram
+s     S  = R_i − α V'                 U          element-wise
+t     T  = A · S                      U          SpMM
+w     ω  = Tᵀ · S                     C          Gram
+x     X' = X_i + α P' + ω S           U          element-wise
+q     R' = S − ω T                    U          element-wise
+====  ==============================  =========  =====================
+
+Like CG, every skewed intermediate has delayed downstream consumers
+(S feeds steps t, w, x and q; V' feeds a and s; ...), so pipelining-only
+schedulers gain little and CHORD's writeback reuse dominates — the paper's
+Fig. 13 BiCGStab panels show the same ordering as CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import TensorSpec, csr_tensor, dense_tensor
+from .matrices import MatrixSpec
+
+
+@dataclass(frozen=True)
+class BiCgStabProblem:
+    """Parameters of one BiCGStab run (paper: N=1 on the PDE datasets)."""
+
+    matrix: MatrixSpec
+    n: int = 1
+    iterations: int = 10
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.iterations <= 0:
+            raise ValueError("n and iterations must be positive")
+
+
+def build_bicgstab_dag(problem: BiCgStabProblem) -> TensorDag:
+    """Construct the multi-iteration BiCGStab DAG."""
+    m, n, nnz, wb = problem.matrix.m, problem.n, problem.matrix.nnz, problem.word_bytes
+    eff = max(1e-9, nnz / m)
+
+    r_m = Rank("m", m)
+    r_n = Rank("n", n)
+    r_np = Rank("np", n)
+    r_kc = Rank("k", m, compressed=True, effective_size=eff)
+    r_kd = Rank("k2", m)
+
+    def skewed(name: str, first: Rank = r_m, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    def small(name: str, first: Rank = r_np, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    a_spec = csr_tensor("A", (r_m, r_kc), nnz=nnz, word_bytes=wb)
+
+    dag = TensorDag()
+    for i in range(problem.iterations):
+        nxt = i + 1
+        # ρ_i = R₀ᵀ R_i
+        dag.add_op(EinsumOp(
+            name=f"r:rho@{i}",
+            inputs=(skewed("R0", r_kd, r_np), skewed(f"R@{i}", r_kd, r_n)),
+            output=small(f"rho@{i}"),
+            contracted=("k2",),
+            label=f"rho = R0^T*R (iter {i})",
+        ))
+        # P_{i+1} = R_i + β (P_i − ω V_i)
+        dag.add_op(EinsumOp(
+            name=f"p:pupd@{i}",
+            inputs=(skewed(f"R@{i}"), skewed(f"P@{i}"), skewed(f"V@{i}"),
+                    small(f"rho@{i}")),
+            output=skewed(f"P@{nxt}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"P update (iter {i})",
+        ))
+        # V_{i+1} = A · P_{i+1}
+        dag.add_op(EinsumOp(
+            name=f"v:spmm@{i}",
+            inputs=(a_spec, skewed(f"P@{nxt}", r_kc, r_n)),
+            output=skewed(f"V@{nxt}"),
+            contracted=("k",),
+            label=f"V = A*P (iter {i})",
+        ))
+        # α_i = R₀ᵀ V_{i+1}
+        dag.add_op(EinsumOp(
+            name=f"a:alpha@{i}",
+            inputs=(skewed("R0", r_kd, r_np), skewed(f"V@{nxt}", r_kd, r_n)),
+            output=small(f"alpha@{i}"),
+            contracted=("k2",),
+            label=f"alpha = R0^T*V (iter {i})",
+        ))
+        # S_i = R_i − α V_{i+1}
+        dag.add_op(EinsumOp(
+            name=f"s:supd@{i}",
+            inputs=(skewed(f"R@{i}"), skewed(f"V@{nxt}"), small(f"alpha@{i}")),
+            output=skewed(f"S@{i}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"S = R - alpha*V (iter {i})",
+        ))
+        # T_i = A · S_i
+        dag.add_op(EinsumOp(
+            name=f"t:spmm@{i}",
+            inputs=(a_spec, skewed(f"S@{i}", r_kc, r_n)),
+            output=skewed(f"T@{i}"),
+            contracted=("k",),
+            label=f"T = A*S (iter {i})",
+        ))
+        # ω_i = T_iᵀ S_i
+        dag.add_op(EinsumOp(
+            name=f"w:omega@{i}",
+            inputs=(skewed(f"T@{i}", r_kd, r_np), skewed(f"S@{i}", r_kd, r_n)),
+            output=small(f"omega@{i}"),
+            contracted=("k2",),
+            label=f"omega = T^T*S (iter {i})",
+        ))
+        # X_{i+1} = X_i + α P_{i+1} + ω S_i
+        dag.add_op(EinsumOp(
+            name=f"x:xupd@{i}",
+            inputs=(skewed(f"X@{i}"), skewed(f"P@{nxt}"), skewed(f"S@{i}"),
+                    small(f"omega@{i}")),
+            output=skewed(f"X@{nxt}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"X update (iter {i})",
+        ))
+        # R_{i+1} = S_i − ω T_i
+        dag.add_op(EinsumOp(
+            name=f"q:rupd@{i}",
+            inputs=(skewed(f"S@{i}"), skewed(f"T@{i}"), small(f"omega@{i}")),
+            output=skewed(f"R@{nxt}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"R = S - omega*T (iter {i})",
+        ))
+    return dag
+
+
+def bicgstab_ops_per_iteration() -> int:
+    return 9

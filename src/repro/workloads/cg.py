@@ -1,0 +1,192 @@
+"""Block Conjugate Gradient as a tensor dependency DAG (Algorithm 1, Fig. 1).
+
+Each CG iteration contributes seven operations (line numbers from the
+paper's Algorithm 1):
+
+====  =========================  =========  ===========================
+line  einsum                     dominance  notes
+====  =========================  =========  ===========================
+1     S = A · P                  U          SpMM; contracted rank is
+                                            compressed, so uncontracted-
+                                            dominant (Fig. 7's ``U*``)
+2a    Δ = Pᵀ · S                 C          contraction over M
+2b    Λ = Δ⁻¹ · Γ                bal        small inverse (``inv``)
+3     X' = X + P · Λ             U
+4     R' = R − S · Λ             U
+5     Γ' = R'ᵀ · R'              C          Gram; R read once
+6     Φ = Γ_prev⁻¹ · Γ'          bal        small inverse
+7     P' = R' + P · Φ            U
+====  =========================  =========  ===========================
+
+Tensors are SSA-versioned across iterations (``P@0 → P@1 → ...``): English-
+letter tensors (P, R, S, X) are skewed M×N; Greek tensors (Δ, Λ, Γ, Φ) are
+tiny N×N' and live in the register file.  The builder reproduces exactly
+the dependency structure the paper exploits: S and R have pipelineable
+adjacent consumers *and* delayed-writeback downstream consumers; X's only
+consumer is one full iteration away; P feeds four ops of the next
+iteration, starting with an unshared SpMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import TensorSpec, csr_tensor, dense_tensor
+from .matrices import MatrixSpec
+
+
+@dataclass(frozen=True)
+class CgProblem:
+    """Parameters of one block-CG run (Table VI/VII)."""
+
+    matrix: MatrixSpec
+    n: int = 16                # block width (paper sweeps 1 and 16)
+    iterations: int = 10       # Table VII: 10 CG-loop iterations
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.iterations <= 0:
+            raise ValueError("n and iterations must be positive")
+
+
+def _skewed(name: str, m_rank: Rank, n_rank: Rank, word_bytes: int) -> TensorSpec:
+    return dense_tensor(name, (m_rank, n_rank), word_bytes=word_bytes)
+
+
+def build_cg_dag(problem: CgProblem) -> TensorDag:
+    """Construct the multi-iteration block-CG DAG for ``problem``."""
+    m = problem.matrix.m
+    n = problem.n
+    nnz = problem.matrix.nnz
+    wb = problem.word_bytes
+    eff = max(1e-9, nnz / m)
+
+    # Rank vocabulary (sizes; names are per-op bindings).
+    r_m = Rank("m", m)
+    r_n = Rank("n", n)
+    r_np = Rank("np", n)          # N' (= N in block CG)
+    r_j = Rank("j", n)
+    r_kc = Rank("k", m, compressed=True, effective_size=eff)  # A's columns
+    r_kd = Rank("k2", m)          # dense M-sized contraction (Gram ops)
+    r_k5 = Rank("k5", m)
+
+    def skewed(name: str, first: Rank = r_m, second: Rank = r_n) -> TensorSpec:
+        return _skewed(name, first, second, wb)
+
+    def small(name: str, first: Rank = r_np, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    a_spec = csr_tensor("A", (r_m, r_kc), nnz=nnz, word_bytes=wb)
+
+    dag = TensorDag()
+    for i in range(problem.iterations):
+        nxt = i + 1
+        # line 1: S_i = A · P_i   (SpMM, uncontracted-dominant)
+        dag.add_op(EinsumOp(
+            name=f"1:spmm@{i}",
+            inputs=(a_spec, skewed(f"P@{i}", r_kc, r_n)),
+            output=skewed(f"S@{i}"),
+            contracted=("k",),
+            label=f"S = A*P (iter {i})",
+        ))
+        # line 2a: Δ_i = P_iᵀ · S_i   (contracted-dominant Gram pair)
+        dag.add_op(EinsumOp(
+            name=f"2a:gram@{i}",
+            inputs=(skewed(f"P@{i}", r_kd, r_np), skewed(f"S@{i}", r_kd, r_n)),
+            output=small(f"Delta@{i}"),
+            contracted=("k2",),
+            label=f"Delta = P^T*S (iter {i})",
+        ))
+        # line 2b: Λ_i = Δ_i⁻¹ · Γ_i   (small inverse + GEMM)
+        dag.add_op(EinsumOp(
+            name=f"2b:inv@{i}",
+            inputs=(small(f"Delta@{i}", r_np, r_j), small(f"Gamma@{i}", r_j, r_n)),
+            output=small(f"Lambda@{i}"),
+            contracted=("j",),
+            kind=OpKind.INVERSE,
+            label=f"Lambda = inv(Delta)*Gamma (iter {i})",
+        ))
+        # line 3: X_{i+1} = X_i + P_i · Λ_i
+        dag.add_op(EinsumOp(
+            name=f"3:xupd@{i}",
+            inputs=(
+                skewed(f"X@{i}"),
+                skewed(f"P@{i}", r_m, r_j),
+                small(f"Lambda@{i}", r_j, r_n),
+            ),
+            output=skewed(f"X@{nxt}"),
+            contracted=("j",),
+            label=f"X += P*Lambda (iter {i})",
+        ))
+        # line 4: R_{i+1} = R_i − S_i · Λ_i
+        dag.add_op(EinsumOp(
+            name=f"4:rupd@{i}",
+            inputs=(
+                skewed(f"R@{i}"),
+                skewed(f"S@{i}", r_m, r_j),
+                small(f"Lambda@{i}", r_j, r_n),
+            ),
+            output=skewed(f"R@{nxt}"),
+            contracted=("j",),
+            label=f"R -= S*Lambda (iter {i})",
+        ))
+        # line 5: Γ_{i+1} = R_{i+1}ᵀ · R_{i+1}   (Gram over one stream of R)
+        dag.add_op(EinsumOp(
+            name=f"5:gram@{i}",
+            inputs=(skewed(f"R@{nxt}", r_k5, r_n),),
+            output=small(f"Gamma@{nxt}"),
+            contracted=("k5",),
+            label=f"Gamma = R^T*R (iter {i})",
+        ))
+        # line 6: Φ_i = Γ_i⁻¹ · Γ_{i+1}
+        dag.add_op(EinsumOp(
+            name=f"6:inv@{i}",
+            inputs=(small(f"Gamma@{i}", r_np, r_j), small(f"Gamma@{nxt}", r_j, r_n)),
+            output=small(f"Phi@{i}"),
+            contracted=("j",),
+            kind=OpKind.INVERSE,
+            label=f"Phi = inv(Gamma_prev)*Gamma (iter {i})",
+        ))
+        # line 7: P_{i+1} = R_{i+1} + P_i · Φ_i
+        dag.add_op(EinsumOp(
+            name=f"7:pupd@{i}",
+            inputs=(
+                skewed(f"R@{nxt}"),
+                skewed(f"P@{i}", r_m, r_j),
+                small(f"Phi@{i}", r_j, r_n),
+            ),
+            output=skewed(f"P@{nxt}"),
+            contracted=("j",),
+            label=f"P = R + P*Phi (iter {i})",
+        ))
+    return dag
+
+
+def cg_ops_per_iteration() -> int:
+    """Operations contributed by one CG-loop iteration.
+
+    Algorithm 1 has seven numbered lines but line 2 is two operations
+    (the Gram ``Δ = PᵀS`` and the inverse ``Λ = Δ⁻¹Γ``), so the DAG holds
+    eight nodes per iteration.
+    """
+    return 8
+
+
+def total_macs(problem: CgProblem) -> int:
+    """Closed-form MAC count of the whole run (validates the DAG)."""
+    m, n, nnz, iters = problem.matrix.m, problem.n, problem.matrix.nnz, problem.iterations
+    per_iter = (
+        nnz * n              # line 1 SpMM
+        + m * n * n          # line 2a
+        + (n ** 3 + n * n * n)  # line 2b inverse + GEMM
+        + m * n * n          # line 3
+        + m * n * n          # line 4
+        + m * n * n          # line 5
+        + (n ** 3 + n * n * n)  # line 6
+        + m * n * n          # line 7
+    )
+    return per_iter * iters

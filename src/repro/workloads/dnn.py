@@ -1,0 +1,60 @@
+"""Linear DNN chains (MLP / 1x1-conv stacks) — the negative control.
+
+Earlier DNN accelerators thrived on exactly these DAGs: cubic-ish GEMMs in
+a straight line, no transitive edges, no delayed dependencies.  On a chain,
+FLAT's adjacent pipelining already captures every inter-op reuse
+opportunity, so CELLO's extra machinery must win *nothing* — a property the
+tests pin (it guards against the simulator inventing advantages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp
+from ..core.ranks import Rank
+from ..core.tensor import dense_tensor
+
+
+@dataclass(frozen=True)
+class MlpProblem:
+    """A batch-M MLP: layer widths give the GEMM chain's K/N sizes."""
+
+    batch: int = 1024
+    widths: Tuple[int, ...] = (1024, 1024, 1024, 1024)
+    word_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or len(self.widths) < 2:
+            raise ValueError("need a positive batch and at least two widths")
+        if any(w <= 0 for w in self.widths):
+            raise ValueError("widths must be positive")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.widths) - 1
+
+
+def build_mlp_dag(problem: MlpProblem = MlpProblem()) -> TensorDag:
+    """Chain of GEMMs: H_{l+1}[m, n] = H_l[m, k] · W_l[k, n]."""
+    r_m = Rank("m", problem.batch)
+    dag = TensorDag()
+    for layer in range(problem.n_layers):
+        k, n = problem.widths[layer], problem.widths[layer + 1]
+        r_k = Rank(f"k{layer}", k)
+        r_n = Rank(f"n{layer}", n)
+        src = "H@0" if layer == 0 else f"H@{layer}"
+        dag.add_op(EinsumOp(
+            name=f"fc@{layer}",
+            inputs=(
+                dense_tensor(src, (r_m, r_k), word_bytes=problem.word_bytes),
+                dense_tensor(f"W@{layer}", (r_k, r_n), word_bytes=problem.word_bytes),
+            ),
+            output=dense_tensor(f"H@{layer + 1}", (r_m, r_n),
+                                word_bytes=problem.word_bytes),
+            contracted=(f"k{layer}",),
+            label=f"fully-connected layer {layer} ({k}->{n})",
+        ))
+    return dag

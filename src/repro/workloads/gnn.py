@@ -1,0 +1,92 @@
+"""GCN layer as a tensor dependency DAG (Table VI's GNN rows).
+
+A graph-convolution layer computes ``H = Â · X · W``.  SCORE orders it
+aggregation-first — ``AX = Â·X`` (SpMM) then ``H = AX·W`` (GEMM) — so the
+skewed intermediate ``AX`` streams straight into the combination GEMM:
+its single consumer is adjacent and pipelineable, which is why CELLO and
+FLAT tie on GNNs (Sec. VII-B1) while op-by-op baselines pay the full
+round trip of AX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp
+from ..core.ranks import Rank
+from ..core.tensor import csr_tensor, dense_tensor
+from .matrices import MatrixSpec
+
+
+@dataclass(frozen=True)
+class GnnProblem:
+    """One GCN layer: M vertices, N input features, O output features."""
+
+    graph: MatrixSpec
+    in_features: int
+    out_features: int
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+
+
+#: Table VI GNN problems.
+def cora_problem() -> GnnProblem:
+    from .matrices import CORA_GRAPH
+
+    return GnnProblem(graph=CORA_GRAPH, in_features=1433, out_features=7)
+
+
+def protein_problem() -> GnnProblem:
+    from .matrices import PROTEIN_GRAPH
+
+    return GnnProblem(graph=PROTEIN_GRAPH, in_features=29, out_features=2)
+
+
+def build_gnn_dag(problem: GnnProblem, layers: int = 1) -> TensorDag:
+    """Build ``layers`` stacked GCN layers (aggregation-first order).
+
+    For multi-layer stacks the hidden width stays at ``out_features``.
+    """
+    if layers <= 0:
+        raise ValueError("layers must be positive")
+    m = problem.graph.m
+    nnz = problem.graph.nnz
+    wb = problem.word_bytes
+    eff = max(1e-9, nnz / m)
+
+    r_m = Rank("m", m)
+    r_kc = Rank("k", m, compressed=True, effective_size=eff)
+
+    dag = TensorDag()
+    feat_in = problem.in_features
+    for layer in range(layers):
+        feat_out = problem.out_features
+        r_f = Rank("f", feat_in)
+        r_o = Rank("o", feat_out)
+        adj = csr_tensor("Adj", (r_m, r_kc), nnz=nnz, word_bytes=wb)
+        x_name = "X@0" if layer == 0 else f"H@{layer - 1}"
+        # Aggregation: AX = Â · X  (SpMM over the compressed rank)
+        dag.add_op(EinsumOp(
+            name=f"agg@{layer}",
+            inputs=(adj, dense_tensor(x_name, (r_kc, r_f), word_bytes=wb)),
+            output=dense_tensor(f"AX@{layer}", (r_m, r_f), word_bytes=wb),
+            contracted=("k",),
+            label=f"AX = A*X (layer {layer})",
+        ))
+        # Combination: H = AX · W  (dense GEMM, features contracted)
+        dag.add_op(EinsumOp(
+            name=f"comb@{layer}",
+            inputs=(
+                dense_tensor(f"AX@{layer}", (r_m, r_f), word_bytes=wb),
+                dense_tensor(f"W@{layer}", (r_f, r_o), word_bytes=wb),
+            ),
+            output=dense_tensor(f"H@{layer}", (r_m, r_o), word_bytes=wb),
+            contracted=("f",),
+            label=f"H = AX*W (layer {layer})",
+        ))
+        feat_in = feat_out
+    return dag

@@ -1,0 +1,119 @@
+"""Workload registry: the Table VI evaluation matrix in code.
+
+Every benchmark pulls its DAGs from here so experiments stay consistent
+with the paper's parameters (Table VII: 10 CG iterations, N ∈ {1, 16},
+4-byte CG/GNN words, 2-byte ResNet words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from ..core.dag import TensorDag
+from .bicgstab import BiCgStabProblem, build_bicgstab_dag
+from .cg import CgProblem, build_cg_dag
+from .gnn import GnnProblem, build_gnn_dag, cora_problem, protein_problem
+from .matrices import (
+    FV1,
+    G2_CIRCUIT,
+    NASA4704,
+    SHALLOW_WATER1,
+    MatrixSpec,
+)
+from .resnet import ResNetBlockProblem, build_resnet_block_dag
+
+#: Datasets evaluated with CG in Fig. 12.
+CG_DATASETS: Tuple[MatrixSpec, ...] = (FV1, SHALLOW_WATER1, G2_CIRCUIT)
+#: Datasets evaluated with BiCGStab in Fig. 13 (N = 1).
+BICGSTAB_DATASETS: Tuple[MatrixSpec, ...] = (NASA4704, FV1, SHALLOW_WATER1)
+#: N sweep for CG (Table VII).
+CG_N_VALUES: Tuple[int, ...] = (1, 16)
+#: CG-loop iterations (Table VII).
+CG_ITERATIONS: int = 10
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, fully-parameterised DAG builder."""
+
+    name: str
+    family: str                      # "cg" | "bicgstab" | "gnn" | "resnet"
+    build: Callable[[], TensorDag]
+    description: str = ""
+
+
+def cg_workload(matrix: MatrixSpec, n: int,
+                iterations: int = CG_ITERATIONS) -> Workload:
+    problem = CgProblem(matrix=matrix, n=n, iterations=iterations)
+    # The iteration count is part of the name so the runner's memoisation
+    # never conflates different-length runs.
+    suffix = "" if iterations == CG_ITERATIONS else f"@it{iterations}"
+    return Workload(
+        name=f"cg/{matrix.name}/N={n}{suffix}",
+        family="cg",
+        build=lambda: build_cg_dag(problem),
+        description=f"block CG on {matrix.name} (M={matrix.m}, nnz={matrix.nnz}, N={n})",
+    )
+
+
+def bicgstab_workload(matrix: MatrixSpec, n: int = 1,
+                      iterations: int = CG_ITERATIONS) -> Workload:
+    problem = BiCgStabProblem(matrix=matrix, n=n, iterations=iterations)
+    suffix = "" if iterations == CG_ITERATIONS else f"@it{iterations}"
+    return Workload(
+        name=f"bicgstab/{matrix.name}/N={n}{suffix}",
+        family="bicgstab",
+        build=lambda: build_bicgstab_dag(problem),
+        description=f"BiCGStab on {matrix.name} (M={matrix.m}, nnz={matrix.nnz}, N={n})",
+    )
+
+
+def gnn_workload(problem: GnnProblem) -> Workload:
+    return Workload(
+        name=f"gnn/{problem.graph.name}",
+        family="gnn",
+        build=lambda: build_gnn_dag(problem),
+        description=(
+            f"GCN layer on {problem.graph.name} "
+            f"(M={problem.graph.m}, N={problem.in_features}, O={problem.out_features})"
+        ),
+    )
+
+
+def resnet_workload(problem: ResNetBlockProblem = ResNetBlockProblem()) -> Workload:
+    return Workload(
+        name="resnet/conv3_x",
+        family="resnet",
+        build=lambda: build_resnet_block_dag(problem),
+        description="ResNet-50 conv3_x residual block (ImageNet, 16-bit)",
+    )
+
+
+def all_cg_workloads() -> Tuple[Workload, ...]:
+    """Fig. 12's grid: 3 datasets × N ∈ {1, 16}."""
+    return tuple(
+        cg_workload(ds, n) for ds in CG_DATASETS for n in CG_N_VALUES
+    )
+
+
+def all_bicgstab_workloads() -> Tuple[Workload, ...]:
+    """Fig. 13's BiCGStab panels (N = 1)."""
+    return tuple(bicgstab_workload(ds, n=1) for ds in BICGSTAB_DATASETS)
+
+
+def all_gnn_workloads() -> Tuple[Workload, ...]:
+    """Fig. 13's GNN panels: cora and protein."""
+    return (gnn_workload(cora_problem()), gnn_workload(protein_problem()))
+
+
+def all_workloads() -> Dict[str, Workload]:
+    out: Dict[str, Workload] = {}
+    for w in (
+        *all_cg_workloads(),
+        *all_bicgstab_workloads(),
+        *all_gnn_workloads(),
+        resnet_workload(),
+    ):
+        out[w.name] = w
+    return out

@@ -1,0 +1,122 @@
+"""ResNet conv3_x residual block as a tensor DAG (Sec. VII-C1, Fig. 7 right).
+
+A ResNet-50 conv3_x bottleneck block on ImageNet operates on 28×28 feature
+maps with 512 block channels and a 128-channel bottleneck; convolutions are
+modelled as implicit GEMMs (M = H·W spatial positions, contraction over
+input channels × kernel positions) with 16-bit words (Table VII).
+
+The block is preceded by a producer op (the previous block's output conv)
+so the skip connection is a *classified* edge: every hop of the main path
+(conv1 → conv2 → conv3 → add) is a balanced, pipelineable MAC/element-wise
+op, so the skip edge is **delayed-hold** — the tiles of the block input
+ride the pipeline buffer until the residual add consumes them.  This is
+the dependency SET [6] handles and FLAT does not (Fig. 16a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import dense_tensor
+
+
+@dataclass(frozen=True)
+class ResNetBlockProblem:
+    """Shapes of the conv3_x bottleneck block (ResNet-50 / ImageNet)."""
+
+    spatial: int = 28          # feature-map side (conv3_x stage)
+    block_channels: int = 512  # block input/output channels
+    bottleneck_channels: int = 128
+    kernel: int = 3            # conv2's spatial kernel
+    word_bytes: int = 2        # Table VII: 16-bit words for ResNet
+    blocks: int = 1            # number of stacked residual blocks
+
+    def __post_init__(self) -> None:
+        if min(self.spatial, self.block_channels, self.bottleneck_channels,
+               self.kernel, self.blocks) <= 0:
+            raise ValueError("all block parameters must be positive")
+
+    @property
+    def m(self) -> int:
+        """Implicit-GEMM M: spatial positions."""
+        return self.spatial * self.spatial
+
+
+def build_resnet_block_dag(problem: ResNetBlockProblem = ResNetBlockProblem()) -> TensorDag:
+    """Build ``problem.blocks`` stacked bottleneck blocks with a leading
+    producer conv (so skip edges have an in-DAG source)."""
+    m = problem.m
+    c = problem.block_channels
+    b = problem.bottleneck_channels
+    s2 = problem.kernel * problem.kernel
+    wb = problem.word_bytes
+
+    r_m = Rank("m", m)
+    r_c = Rank("c", c)
+    r_b1 = Rank("b1", b)
+    r_b2 = Rank("b2", b)
+    r_s = Rank("s", s2)
+    r_kp = Rank("kp", c)
+
+    dag = TensorDag()
+    # Leading producer: the previous stage's output conv (1x1, C -> C).
+    dag.add_op(EinsumOp(
+        name="pre:conv",
+        inputs=(
+            dense_tensor("ACT_in", (r_m, r_kp), word_bytes=wb),
+            dense_tensor("W_pre", (r_kp, r_c), word_bytes=wb),
+        ),
+        output=dense_tensor("T0@0", (r_m, r_c), word_bytes=wb),
+        contracted=("kp",),
+        label="producer conv (previous block)",
+    ))
+    for blk in range(problem.blocks):
+        t_in = f"T0@{blk}"
+        # conv1: 1x1, C -> B
+        dag.add_op(EinsumOp(
+            name=f"c1:conv@{blk}",
+            inputs=(
+                dense_tensor(t_in, (r_m, r_c), word_bytes=wb),
+                dense_tensor(f"W1@{blk}", (r_c, r_b1), word_bytes=wb),
+            ),
+            output=dense_tensor(f"T1@{blk}", (r_m, r_b1), word_bytes=wb),
+            contracted=("c",),
+            label=f"conv1 1x1 {c}->{b} (block {blk})",
+        ))
+        # conv2: 3x3, B -> B (im2col contraction over kernel x channels)
+        dag.add_op(EinsumOp(
+            name=f"c2:conv@{blk}",
+            inputs=(
+                dense_tensor(f"T1@{blk}", (r_m, r_b1), word_bytes=wb),
+                dense_tensor(f"W2@{blk}", (r_s, r_b1, r_b2), word_bytes=wb),
+            ),
+            output=dense_tensor(f"T2@{blk}", (r_m, r_b2), word_bytes=wb),
+            contracted=("s", "b1"),
+            label=f"conv2 3x3 {b}->{b} (block {blk})",
+        ))
+        # conv3: 1x1, B -> C
+        dag.add_op(EinsumOp(
+            name=f"c3:conv@{blk}",
+            inputs=(
+                dense_tensor(f"T2@{blk}", (r_m, r_b2), word_bytes=wb),
+                dense_tensor(f"W3@{blk}", (r_b2, r_c), word_bytes=wb),
+            ),
+            output=dense_tensor(f"T3@{blk}", (r_m, r_c), word_bytes=wb),
+            contracted=("b2",),
+            label=f"conv3 1x1 {b}->{c} (block {blk})",
+        ))
+        # residual add: OUT = T3 + T0 (the skip connection, delayed hold)
+        dag.add_op(EinsumOp(
+            name=f"add:residual@{blk}",
+            inputs=(
+                dense_tensor(f"T3@{blk}", (r_m, r_c), word_bytes=wb),
+                dense_tensor(t_in, (r_m, r_c), word_bytes=wb),
+            ),
+            output=dense_tensor(f"T0@{blk + 1}", (r_m, r_c), word_bytes=wb),
+            kind=OpKind.ELEMENTWISE,
+            label=f"residual add (block {blk})",
+        ))
+    return dag

@@ -1,0 +1,116 @@
+"""Tests for the analysis helpers: report rendering, roofline helpers,
+capability tables."""
+
+import pytest
+
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.roofline import (
+    REGULAR_GEMM,
+    SKEWED_GEMM,
+    GemmPoint,
+    gemm_roofline_rows,
+    result_on_roofline,
+    roofline_for,
+)
+from repro.analysis.tables import (
+    BUFFER_ROWS,
+    SCHEDULER_ROWS,
+    buffer_capability_table,
+    scheduler_capability_table,
+)
+from repro.hw.config import AcceleratorConfig
+from repro.sim.perf import make_result
+
+CFG = AcceleratorConfig()
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]], precision=2)
+        assert "3.14" in out
+
+    def test_bools_render_yes_no(self):
+        out = render_table(["v"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_scientific_for_extremes(self):
+        out = render_table(["v"], [[1.5e12]])
+        assert "e+" in out
+
+    def test_nan_renders_dash(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_title(self):
+        assert render_table(["a"], [["x"]], title="T").startswith("T\n")
+
+    def test_render_kv(self):
+        out = render_kv([("key", 1), ("longer key", "v")], title="KV")
+        assert out.startswith("KV")
+        assert ": 1" in out
+
+
+class TestRooflineHelpers:
+    def test_paper_gemm_points(self):
+        assert REGULAR_GEMM.macs == SKEWED_GEMM.macs
+        assert REGULAR_GEMM.intensity > 20 * SKEWED_GEMM.intensity / 2
+
+    def test_gemm_rows(self):
+        rows = gemm_roofline_rows(CFG)
+        assert len(rows) == 2
+        (label1, ai1, gm1, mb1), (label2, ai2, gm2, mb2) = rows
+        assert not mb1 and mb2
+        assert gm1 > gm2
+
+    def test_result_on_roofline(self):
+        r = make_result("c", "w", 10**9, 10**6, 0, CFG)
+        ai, attainable = result_on_roofline(r, CFG)
+        assert ai == pytest.approx(1000.0)
+        assert attainable == pytest.approx(CFG.peak_macs_per_s / 1e9)
+
+    def test_custom_gemm_point(self):
+        p = GemmPoint("t", 100, 100, 100)
+        assert p.macs == 10**6
+        assert p.intensity > 0
+
+
+class TestCapabilityTables:
+    def test_score_row_is_strictly_most_capable(self):
+        score = SCHEDULER_ROWS[-1]
+        for other in SCHEDULER_ROWS[:-1]:
+            assert score.delayed_writeback >= other.delayed_writeback
+            assert (
+                score.inter_op_pipelining,
+                score.delayed_hold,
+                score.delayed_writeback,
+            ) >= (
+                other.inter_op_pipelining,
+                other.delayed_hold,
+                other.delayed_writeback,
+            )
+        assert score.delayed_writeback and score.swizzle_minimization
+
+    def test_only_score_has_writeback(self):
+        assert [r.delayed_writeback for r in SCHEDULER_ROWS] == [
+            False, False, False, True
+        ]
+
+    def test_chord_row_is_object_granular(self):
+        chord = BUFFER_ROWS[-1]
+        assert chord.granularity == "object"
+        assert chord.exposure == "hybrid"
+        assert chord.online_policy
+
+    def test_tables_render(self):
+        assert "SCORE" in scheduler_capability_table()
+        assert "CHORD" in buffer_capability_table()

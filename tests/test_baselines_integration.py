@@ -1,0 +1,221 @@
+"""Integration tests: the Table IV configurations must reproduce the
+paper's qualitative results (who wins, where, and why).
+
+These are the reproduction's acceptance tests — each assertion corresponds
+to a sentence in the paper's evaluation section.
+"""
+
+import pytest
+
+from repro.baselines.configs import config_names, run_config
+from repro.baselines.runner import clear_cache, run_matrix, run_workload_config
+from repro.hw.config import AcceleratorConfig, MIB
+from repro.sim.results import geomean
+from repro.workloads.matrices import FV1, SHALLOW_WATER1
+from repro.workloads.registry import (
+    all_gnn_workloads,
+    bicgstab_workload,
+    cg_workload,
+    resnet_workload,
+)
+
+CFG = AcceleratorConfig()
+
+
+@pytest.fixture(scope="module")
+def cg_fv1():
+    w = cg_workload(FV1, n=16, iterations=3)
+    return {
+        c: run_workload_config(w, c, CFG)
+        for c in ("Flexagon", "FLAT", "SET", "PRELUDE-only", "CELLO")
+    }
+
+
+@pytest.fixture(scope="module")
+def cg_sw16():
+    w = cg_workload(SHALLOW_WATER1, n=16, iterations=10)
+    return {
+        c: run_workload_config(w, c, CFG)
+        for c in ("Flexagon", "FLAT", "PRELUDE-only", "CELLO")
+    }
+
+
+@pytest.fixture(scope="module")
+def cg_sw1():
+    w = cg_workload(SHALLOW_WATER1, n=1, iterations=10)
+    return {
+        c: run_workload_config(w, c, CFG)
+        for c in ("Flexagon", "FLAT", "PRELUDE-only", "CELLO")
+    }
+
+
+class TestCgOrdering:
+    def test_flat_equals_flexagon_on_cg(self, cg_fv1):
+        """'Works that only consider pipelining ... are not beneficial
+        here': every CG intermediate has a delayed downstream consumer."""
+        assert cg_fv1["FLAT"].dram_bytes == cg_fv1["Flexagon"].dram_bytes
+
+    def test_set_equals_flat_on_cg(self, cg_fv1):
+        """SET 'performs the same as FLAT and Flexagon on CG' — CG needs
+        delayed writeback, which SET lacks."""
+        assert cg_fv1["SET"].dram_bytes == cg_fv1["FLAT"].dram_bytes
+
+    def test_cello_beats_everything_on_cg(self, cg_fv1):
+        for other in ("Flexagon", "FLAT", "SET"):
+            assert cg_fv1["CELLO"].dram_bytes < cg_fv1[other].dram_bytes
+
+    def test_cello_speedup_is_substantial(self, cg_fv1):
+        assert cg_fv1["CELLO"].speedup_over(cg_fv1["Flexagon"]) > 2.0
+
+    def test_prelude_only_between_baseline_and_cello(self, cg_sw16):
+        pre = cg_sw16["PRELUDE-only"].dram_bytes
+        assert cg_sw16["CELLO"].dram_bytes <= pre <= cg_sw16["Flexagon"].dram_bytes
+
+    def test_riff_beats_prelude_only(self, cg_sw16):
+        """Fig. 16(c): RIFF keeps frequently-reused tensors resident."""
+        assert cg_sw16["CELLO"].dram_bytes < cg_sw16["PRELUDE-only"].dram_bytes
+
+    def test_prelude_closer_to_cello_at_n1(self, cg_sw1, cg_sw16):
+        """Fig. 16(c): PRELUDE-only benefits from tensors small relative to
+        the SRAM."""
+        import math
+
+        def position(results):
+            flex = results["Flexagon"].dram_bytes
+            cello = results["CELLO"].dram_bytes
+            pre = results["PRELUDE-only"].dram_bytes
+            return (math.log(flex) - math.log(pre)) / (math.log(flex) - math.log(cello))
+
+        assert position(cg_sw1) > position(cg_sw16)
+
+
+class TestGnn:
+    def test_cello_matches_flat_on_gnn(self):
+        """Sec. VII-B1: 'CELLO achieves the same performance as FLAT'."""
+        for w in all_gnn_workloads():
+            flat = run_workload_config(w, "FLAT", CFG)
+            cello = run_workload_config(w, "CELLO", CFG)
+            assert cello.dram_bytes <= flat.dram_bytes
+            assert cello.dram_bytes >= 0.9 * flat.dram_bytes
+
+    def test_pipelining_beats_op_by_op_on_gnn(self):
+        for w in all_gnn_workloads():
+            flex = run_workload_config(w, "Flexagon", CFG)
+            flat = run_workload_config(w, "FLAT", CFG)
+            assert flat.dram_bytes < flex.dram_bytes
+
+
+class TestResNet:
+    @pytest.fixture(scope="class")
+    def res(self):
+        w = resnet_workload()
+        return {
+            c: run_workload_config(w, c, CFG)
+            for c in ("Flexagon", "FLAT", "SET", "CELLO")
+        }
+
+    def test_set_equals_cello_on_resnet(self, res):
+        """Fig. 16(a): SET handles the delayed-hold skip connection."""
+        assert res["SET"].dram_bytes == res["CELLO"].dram_bytes
+
+    def test_flat_misses_the_skip_connection(self, res):
+        assert res["FLAT"].dram_bytes > res["SET"].dram_bytes
+
+    def test_flexagon_worst(self, res):
+        assert res["Flexagon"].dram_bytes > res["FLAT"].dram_bytes
+
+    def test_compute_bound_at_1tbs(self, res):
+        """At 1 TB/s ResNet is compute bound: all pipelined configs tie."""
+        assert res["CELLO"].time_s == pytest.approx(res["FLAT"].time_s)
+        assert not res["CELLO"].memory_bound
+
+    def test_flexagon_memory_bound_at_250gbs(self):
+        w = resnet_workload()
+        slow = CFG.with_bandwidth(250e9)
+        flex = run_workload_config(w, "Flexagon", slow)
+        cello = run_workload_config(w, "CELLO", slow)
+        assert flex.time_s > cello.time_s
+
+
+class TestBicgstab:
+    def test_cello_wins_on_bicgstab(self):
+        w = bicgstab_workload(FV1, n=1, iterations=5)
+        flex = run_workload_config(w, "Flexagon", CFG)
+        flat = run_workload_config(w, "FLAT", CFG)
+        cello = run_workload_config(w, "CELLO", CFG)
+        assert cello.dram_bytes < flat.dram_bytes
+        assert cello.dram_bytes < flex.dram_bytes
+
+
+class TestSramSweep:
+    def test_bigger_chord_never_hurts(self):
+        w = cg_workload(SHALLOW_WATER1, n=16, iterations=5)
+        traffic = []
+        for sram in (1 * MIB, 4 * MIB, 16 * MIB):
+            r = run_workload_config(w, "CELLO", CFG.with_sram(sram))
+            traffic.append(r.dram_bytes)
+        assert traffic[0] >= traffic[1] >= traffic[2]
+        assert traffic[0] > traffic[2]  # capacity matters at N=16
+
+    def test_n1_near_compulsory_floor_by_16mb(self):
+        """Fig. 16(b): at N=1 a large-enough CHORD reaches the compulsory
+        traffic floor (cold inputs + final outputs).
+
+        Deviation note: the paper says 4 MB already suffices at N=1; in our
+        model shallow_water1's CSR matrix (2.9 MB) plus the active vectors
+        slightly exceed the 4 MB CHORD data array, so full saturation
+        arrives at 16 MB (recorded in EXPERIMENTS.md).
+        """
+        w = cg_workload(SHALLOW_WATER1, n=1, iterations=5)
+        dag = w.build()
+        floor = sum(dag.tensor(t).bytes for t in dag.program_inputs())
+        floor += sum(dag.tensor(t).bytes for t in dag.program_outputs())
+        t16 = run_workload_config(w, "CELLO", CFG.with_sram(16 * MIB)).dram_bytes
+        assert t16 <= floor * 1.05
+
+
+class TestCaches:
+    def test_cache_baselines_below_cello(self):
+        w = cg_workload(FV1, n=16, iterations=3)
+        cello = run_workload_config(w, "CELLO", CFG)
+        for c in ("Flex+LRU", "Flex+BRRIP"):
+            r = run_workload_config(w, c, CFG, cache_granularity=4)
+            assert r.dram_bytes > cello.dram_bytes
+
+    def test_caches_below_explicit_on_large_working_sets(self):
+        """Fig. 12: 'LRU and BRRIP perform worse than best case schedule
+        with explicit management' once the working set exceeds the cache."""
+        w = cg_workload(SHALLOW_WATER1, n=16, iterations=3)
+        flex = run_workload_config(w, "Flexagon", CFG)
+        lru = run_workload_config(w, "Flex+LRU", CFG)
+        assert lru.dram_bytes > flex.dram_bytes * 0.9
+
+
+class TestRunnerInfra:
+    def test_run_matrix_shape(self):
+        out = run_matrix(
+            [cg_workload(FV1, n=16, iterations=1)],
+            configs=("Flexagon", "CELLO"),
+            cfg=CFG,
+        )
+        assert set(out) == {"cg/fv1/N=16@it1"}
+        assert set(out["cg/fv1/N=16@it1"]) == {"Flexagon", "CELLO"}
+
+    def test_memoisation_is_bandwidth_transparent(self):
+        w = cg_workload(FV1, n=16, iterations=1)
+        fast = run_workload_config(w, "CELLO", CFG)
+        slow = run_workload_config(w, "CELLO", CFG.with_bandwidth(250e9))
+        assert fast.dram_bytes == slow.dram_bytes
+        assert slow.time_s >= fast.time_s
+
+    def test_unknown_config_raises(self):
+        w = cg_workload(FV1, n=16, iterations=1)
+        with pytest.raises(KeyError):
+            run_config("NotAConfig", w.build(), CFG)
+
+    def test_all_config_names_runnable_on_small_cg(self):
+        dag = cg_workload(FV1, n=1, iterations=1).build()
+        for name in config_names():
+            r = run_config(name, dag, CFG, cache_granularity=8)
+            assert r.dram_bytes > 0
+            assert r.total_macs > 0

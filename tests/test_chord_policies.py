@@ -1,0 +1,157 @@
+"""Tests for PRELUDE/RIFF policies and the RIFF index table (Fig. 9/10)."""
+
+import pytest
+
+from repro.chord.hints import ReuseHints, TensorHints
+from repro.chord.metadata import ENTRY_BITS_USED, RiffIndexTable, TensorEntry
+from repro.chord.prelude import FillDecision, prelude_fill
+from repro.chord.riff import Priority, RiffPolicy
+
+
+def hints(**tensors):
+    """hints(X=(total, producer, consumers, is_output), ...)"""
+    return ReuseHints({
+        name: TensorHints(name, t[0], t[1], tuple(t[2]), t[3])
+        for name, t in tensors.items()
+    })
+
+
+class TestPrelude:
+    def test_fits_entirely(self):
+        d = prelude_fill(100, 200)
+        assert d == FillDecision(inserted=100, spilled=0)
+
+    def test_partial_fill_spills_tail(self):
+        d = prelude_fill(300, 120)
+        assert d.inserted == 120
+        assert d.spilled == 180
+
+    def test_no_space_spills_all(self):
+        assert prelude_fill(50, 0).spilled == 50
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            prelude_fill(-1, 10)
+        with pytest.raises(ValueError):
+            prelude_fill(1, -10)
+
+
+class TestPriority:
+    def test_closer_use_wins(self):
+        near = Priority(next_use_distance=1, remaining_frequency=1)
+        far = Priority(next_use_distance=7, remaining_frequency=1)
+        assert far < near
+
+    def test_frequency_breaks_ties(self):
+        a = Priority(1, 3)
+        b = Priority(1, 1)
+        assert b < a
+
+    def test_dead_ranks_below_everything(self):
+        dead = Priority(None, 0)
+        far = Priority(10_000, 0)
+        assert dead < far
+
+
+class TestRiffPolicy:
+    def test_paper_example_x_vs_r(self):
+        """Sec. VI-A: X (reused next iteration) loses to R (reused at lines
+        5 and 7 of the same iteration)."""
+        h = hints(
+            X=(1000, 3, [10], False),   # produced at op 3, next use op 10
+            R=(1000, 4, [5, 7], False), # produced at op 4, used at 5 and 7
+        )
+        policy = RiffPolicy(h)
+        # At op 4 (R being written), X is the resident victim candidate.
+        victim = policy.select_victim(resident=["X"], incoming="R", op_index=4)
+        assert victim == "X"
+
+    def test_no_victim_when_incoming_is_lower_priority(self):
+        h = hints(
+            X=(1000, 3, [5], False),    # X reused very soon
+            Y=(1000, 4, [20], False),   # Y reused far away
+        )
+        policy = RiffPolicy(h)
+        assert policy.select_victim(resident=["X"], incoming="Y", op_index=4) is None
+
+    def test_tensor_never_victimises_itself(self):
+        h = hints(X=(1000, 0, [9], False))
+        policy = RiffPolicy(h)
+        assert policy.select_victim(resident=["X"], incoming="X", op_index=1) is None
+
+    def test_picks_lowest_priority_among_many(self):
+        h = hints(
+            A=(100, 0, [2], False),
+            B=(100, 0, [5], False),
+            C=(100, 0, [9], False),
+            NEW=(100, 1, [2], False),
+        )
+        policy = RiffPolicy(h)
+        victim = policy.select_victim(resident=["A", "B", "C"], incoming="NEW", op_index=1)
+        assert victim == "C"
+
+    def test_dead_tensor_is_preferred_victim(self):
+        h = hints(
+            DEAD=(100, 0, [1], False),
+            LIVE=(100, 0, [5], False),
+            NEW=(100, 2, [3], False),
+        )
+        policy = RiffPolicy(h)
+        victim = policy.select_victim(resident=["DEAD", "LIVE"], incoming="NEW", op_index=2)
+        assert victim == "DEAD"
+
+
+class TestIndexTable:
+    def test_entry_budget_fits_512_bits(self):
+        assert ENTRY_BITS_USED <= 512
+
+    def test_allocate_and_release(self):
+        t = RiffIndexTable(4)
+        e = t.allocate("X", 0x1000, 0x2000)
+        assert "X" in t
+        assert e.total_bytes == 0x1000
+        t.release("X")
+        assert "X" not in t
+
+    def test_capacity_enforced(self):
+        t = RiffIndexTable(2)
+        t.allocate("A", 0, 10)
+        t.allocate("B", 10, 20)
+        with pytest.raises(RuntimeError):
+            t.allocate("C", 20, 30)
+
+    def test_duplicate_rejected(self):
+        t = RiffIndexTable(2)
+        t.allocate("A", 0, 10)
+        with pytest.raises(ValueError):
+            t.allocate("A", 0, 10)
+
+    def test_entry_width_must_hold_fields(self):
+        with pytest.raises(ValueError):
+            RiffIndexTable(4, entry_bits=64)
+
+    def test_hit_rule_and_local_index(self):
+        e = TensorEntry(
+            tensor_id=0, name="A",
+            start_tensor=0x1000, end_tensor=0x2000, end_chord=0x1800,
+            start_index=0x100,
+        )
+        assert e.is_hit(0x1000)
+        assert e.is_hit(0x17FF)
+        assert not e.is_hit(0x1800)       # beyond resident prefix
+        assert not e.is_hit(0x0FFF)
+        # Fig. 10: index = (addr - start_tensor) + start_index.
+        assert e.local_index(0x1234) == 0x234 + 0x100
+        with pytest.raises(ValueError):
+            e.local_index(0x1900)
+
+    def test_reref_history_shifts(self):
+        e = TensorEntry(0, "A", 0, 10, 10)
+        e.record_access(True)
+        e.record_access(False)
+        e.record_access(True)
+        assert e.reref_history & 0b111 == 0b101
+
+    def test_total_bits_matches_table_v(self):
+        t = RiffIndexTable(64, 512)
+        assert t.total_bits == 64 * 512

@@ -1,0 +1,213 @@
+"""Property-based tests of Algorithm 2 over randomly generated DAGs.
+
+Hypothesis builds small random einsum DAGs (mixed dominances, random
+fan-out, occasional inverse nodes); the classifier must uphold its
+structural invariants on every one of them:
+
+* every producer→consumer edge receives exactly one class;
+* delayed (hold/writeback) classes appear only on transitive edges;
+* pipelineable appears only on non-transitive edges;
+* contracted-dominant and inverse sources never emit pipelineable/hold;
+* parallel multicast counts only non-transitive fan-out.
+
+Plus end-to-end sanity: SCORE schedules every random DAG, and the CELLO
+engine's traffic never exceeds the op-by-op oracle.
+"""
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.flexagon import oracle_traffic
+from repro.core.classify import DependencyType, classify_dependencies
+from repro.core.dag import TensorDag
+from repro.core.dominance import Dominance
+from repro.core.einsum import EinsumOp, OpKind
+from repro.core.ranks import Rank
+from repro.core.tensor import dense_tensor
+from repro.hw.config import AcceleratorConfig
+from repro.score.scheduler import Score
+from repro.sim.engine import ScheduleEngine
+
+CFG = AcceleratorConfig()
+
+# Node blueprints: (shape kind, op kind).
+_SHAPES = ("skewed_u", "skewed_c", "balanced")
+
+
+@st.composite
+def random_dag(draw) -> TensorDag:
+    """A random 3-10 op DAG.
+
+    Each op consumes 1-2 previously produced (or fresh input) tensors and
+    produces one tensor.  Shapes are drawn so all three dominance classes
+    occur; a few ops are inverses.  All tensors share the M×N shape so any
+    producer/consumer pairing is shape-consistent.
+    """
+    n_ops = draw(st.integers(3, 10))
+    m = draw(st.sampled_from([512, 4096]))
+    n = 16
+    dag = TensorDag()
+    produced: List[str] = []
+    fresh = 0
+    for i in range(n_ops):
+        shape = draw(st.sampled_from(_SHAPES))
+        is_inverse = draw(st.booleans()) and draw(st.booleans())  # ~25%
+
+        def operand(name: str, first: Rank, second: Rank):
+            return dense_tensor(name, (first, second))
+
+        # Choose inputs: prefer earlier outputs, else fresh program inputs.
+        inputs = []
+        n_inputs = draw(st.integers(1, 2))
+        for _ in range(n_inputs):
+            if produced and draw(st.booleans()):
+                src = draw(st.sampled_from(produced))
+            else:
+                src = f"IN{fresh}"
+                fresh += 1
+            inputs.append(src)
+        inputs = list(dict.fromkeys(inputs))  # dedup, keep order
+
+        r_m = Rank("m", m)
+        r_n = Rank("n", n)
+        r_md = Rank("md", m)      # dense M-sized contraction
+        r_j = Rank("j", n)
+
+        if is_inverse and len(inputs) >= 1:
+            # Small-op inverse: bind inputs over (j, n)-like small ranks.
+            ins = tuple(
+                operand(name, Rank("np", n), r_j) if k == 0
+                else operand(name, r_j, r_n)
+                for k, name in enumerate(inputs[:2])
+            )
+            if len(ins) == 1:
+                ins = (operand(inputs[0], r_j, r_n),)
+                op = EinsumOp(
+                    name=f"op{i}", inputs=ins,
+                    output=operand(f"T{i}", Rank("np", n), r_n),
+                    kind=OpKind.INVERSE,
+                )
+            else:
+                op = EinsumOp(
+                    name=f"op{i}", inputs=ins,
+                    output=operand(f"T{i}", Rank("np", n), r_n),
+                    contracted=("j",), kind=OpKind.INVERSE,
+                )
+        elif shape == "skewed_u":
+            # Element-wise skewed update (uncontracted dominant, like CG
+            # lines 3/4/7 with the small GEMM folded).
+            ins = [operand(inputs[0], r_m, r_j)]
+            if len(inputs) > 1:
+                ins.append(operand(inputs[1], r_m, r_n))
+            op = EinsumOp(
+                name=f"op{i}", inputs=tuple(ins),
+                output=operand(f"T{i}", r_m, r_n),
+                kind=OpKind.ELEMENTWISE,
+            )
+        elif shape == "skewed_c":
+            # Gram: contraction over the big rank.
+            ins = [operand(inputs[0], r_md, r_n)]
+            if len(inputs) > 1:
+                ins.append(operand(inputs[1], r_md, Rank("np", n)))
+            op = EinsumOp(
+                name=f"op{i}", inputs=tuple(ins),
+                output=operand(f"T{i}", r_j, r_n),
+                contracted=("md",),
+            )
+        else:  # balanced
+            r_a = Rank("a", 256)
+            r_b = Rank("b", 256)
+            r_c = Rank("c", 256)
+            ins = [dense_tensor(inputs[0], (r_a, r_b))]
+            if len(inputs) > 1:
+                ins.append(dense_tensor(inputs[1], (r_b, r_c)))
+                op = EinsumOp(
+                    name=f"op{i}", inputs=tuple(ins),
+                    output=dense_tensor(f"T{i}", (r_a, r_c)),
+                    contracted=("b",),
+                )
+            else:
+                op = EinsumOp(
+                    name=f"op{i}", inputs=tuple(ins),
+                    output=dense_tensor(f"T{i}", (r_a, r_b)),
+                    kind=OpKind.ELEMENTWISE,
+                )
+        try:
+            dag.add_op(op)
+            produced.append(op.output.name)
+        except ValueError:
+            # Shape conflict with an earlier binding of the same tensor —
+            # skip this op (the DAG stays valid).
+            continue
+    return dag
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_every_edge_classified_exactly_once(dag):
+    if len(dag) == 0:
+        return
+    cdag = classify_dependencies(dag)
+    edges = dag.edges()
+    assert set(cdag.dependency) == {e.key() for e in edges}
+    assert sum(cdag.summary().values()) == len(edges)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_delayed_only_on_transitive_edges(dag):
+    if len(dag) == 0:
+        return
+    cdag = classify_dependencies(dag)
+    for e in dag.edges():
+        dep = cdag.dep_of(e)
+        if dep.is_delayed:
+            assert dag.is_transitive_edge(e)
+        if dep is DependencyType.PIPELINEABLE:
+            assert not dag.is_transitive_edge(e)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_blocking_sources_never_pipeline(dag):
+    if len(dag) == 0:
+        return
+    cdag = classify_dependencies(dag)
+    for e in dag.edges():
+        assert e.src is not None
+        src_op = dag.op(e.src)
+        dep = cdag.dep_of(e)
+        blocked = (
+            cdag.dominance[e.src].kind is Dominance.CONTRACTED
+            or src_op.kind is OpKind.INVERSE
+        )
+        if blocked:
+            assert dep is DependencyType.SEQUENTIAL
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_multicast_counts_nontransitive_fanout(dag):
+    if len(dag) == 0:
+        return
+    cdag = classify_dependencies(dag)
+    for op in dag.ops:
+        nontransitive = sum(
+            1 for e in dag.out_edges(op.name) if not dag.is_transitive_edge(e)
+        )
+        assert cdag.numcast[op.name] == nontransitive
+        assert cdag.parallel_multicast[op.name] == (nontransitive > 1)
+
+
+@given(random_dag())
+@settings(max_examples=30, deadline=None)
+def test_cello_never_exceeds_oracle_on_random_dags(dag):
+    if len(dag) == 0:
+        return
+    schedule = Score(CFG).schedule(dag)
+    result = ScheduleEngine(CFG).run(schedule)
+    reads, writes = oracle_traffic(dag)
+    assert result.dram_bytes <= reads + writes

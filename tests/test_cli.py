@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, EXPERIMENTS, list_experiments, main
+
+
+class TestCli:
+    def test_every_experiment_described(self):
+        assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table2" in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_light_experiment(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "42.6" in out
+
+    def test_run_multiple_dedups(self, capsys):
+        assert main(["table2", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("=== table2") == 1
+
+    def test_table_experiments_runnable(self, capsys):
+        assert main(["table1", "table3", "fig15", "fig8"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Frontier", "CHORD", "buffet", "advantage"):
+            assert marker in out

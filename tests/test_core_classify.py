@@ -1,0 +1,189 @@
+"""Tests for Algorithm 2 (dominance + dependency classification).
+
+The CG structure tests pin the exact dependency classes the paper's Fig. 7
+shows: this is the heart of the reproduction.
+"""
+
+import pytest
+
+from repro.core.classify import DependencyType, classify_dependencies
+from repro.core.dominance import Dominance, classify_dominance
+from repro.core.einsum import EinsumOp, OpKind
+from repro.core.ranks import Rank
+from repro.core.tensor import csr_tensor, dense_tensor
+from repro.workloads.cg import CgProblem, build_cg_dag
+from repro.workloads.gnn import build_gnn_dag, cora_problem, protein_problem
+from repro.workloads.matrices import FV1
+from repro.workloads.resnet import build_resnet_block_dag
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return classify_dependencies(build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=2)))
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return classify_dependencies(build_resnet_block_dag())
+
+
+class TestDominance:
+    def test_skewed_gemm_is_uncontracted_dominant(self):
+        rm, rk, rn = Rank("m", 100000), Rank("k", 16), Rank("n", 16)
+        op = EinsumOp(
+            name="g",
+            inputs=(dense_tensor("A", (rm, rk)), dense_tensor("B", (rk, rn))),
+            output=dense_tensor("Z", (rm, rn)),
+            contracted=("k",),
+        )
+        d = classify_dominance(op)
+        assert d.kind is Dominance.UNCONTRACTED
+        assert d.dominant_rank == "m"
+
+    def test_gram_is_contracted_dominant(self):
+        rk, rp, rn = Rank("k", 100000), Rank("np", 16), Rank("n", 16)
+        op = EinsumOp(
+            name="gram",
+            inputs=(dense_tensor("P", (rk, rp)), dense_tensor("S", (rk, rn))),
+            output=dense_tensor("D", (rp, rn)),
+            contracted=("k",),
+        )
+        assert classify_dominance(op).kind is Dominance.CONTRACTED
+
+    def test_cubic_gemm_is_balanced(self):
+        rm, rk, rn = Rank("m", 512), Rank("k", 512), Rank("n", 512)
+        op = EinsumOp(
+            name="g",
+            inputs=(dense_tensor("A", (rm, rk)), dense_tensor("B", (rk, rn))),
+            output=dense_tensor("Z", (rm, rn)),
+            contracted=("k",),
+        )
+        assert classify_dominance(op).kind is Dominance.BALANCED
+
+    def test_compressed_contraction_makes_spmm_uncontracted(self):
+        # Fig. 7: "the first operation is 'U' because the contracted rank is
+        # compressed."
+        m, nnz = 9604, 85264
+        rk = Rank("k", m, compressed=True, effective_size=nnz / m)
+        rm, rn = Rank("m", m), Rank("n", 16)
+        op = EinsumOp(
+            name="spmm",
+            inputs=(csr_tensor("A", (rm, rk), nnz=nnz), dense_tensor("P", (rk, rn))),
+            output=dense_tensor("S", (rm, rn)),
+            contracted=("k",),
+        )
+        d = classify_dominance(op)
+        assert d.kind is Dominance.UNCONTRACTED
+        assert d.dominant_rank == "m"
+
+
+class TestCgClassification:
+    """Pin the paper's Fig. 7 structure on the real CG DAG."""
+
+    def test_node_letters(self, cg):
+        assert cg.node_letter("1:spmm@0") == "U"
+        assert cg.node_letter("2a:gram@0") == "C"
+        assert cg.node_letter("3:xupd@0") == "U"
+        assert cg.node_letter("4:rupd@0") == "U"
+        assert cg.node_letter("5:gram@0") == "C"
+
+    def test_s_pipeline_into_gram(self, cg):
+        # 1 -> 2a: S streams into the contraction (adjacent, shared rank).
+        assert cg.dependency[("1:spmm@0", "2a:gram@0", "S@0")] is DependencyType.PIPELINEABLE
+
+    def test_s_delayed_writeback_to_rupd(self, cg):
+        # 1 -> 4: transitive via the contraction-heavy 2a (Fig. 7 brick red).
+        assert cg.dependency[("1:spmm@0", "4:rupd@0", "S@0")] is DependencyType.DELAYED_WRITEBACK
+
+    def test_r_pipeline_into_gram(self, cg):
+        assert cg.dependency[("4:rupd@0", "5:gram@0", "R@1")] is DependencyType.PIPELINEABLE
+
+    def test_r_delayed_writeback_to_pupd(self, cg):
+        assert cg.dependency[("4:rupd@0", "7:pupd@0", "R@1")] is DependencyType.DELAYED_WRITEBACK
+
+    def test_r_delayed_writeback_across_iterations(self, cg):
+        assert cg.dependency[("4:rupd@0", "4:rupd@1", "R@1")] is DependencyType.DELAYED_WRITEBACK
+
+    def test_p_unshared_into_spmm_is_sequential(self, cg):
+        # 7 -> 1': the SpMM gathers P rows by sparsity pattern; its dominant
+        # rank m is not a rank of P — unshared, sequential.
+        assert cg.dependency[("7:pupd@0", "1:spmm@1", "P@1")] is DependencyType.SEQUENTIAL
+
+    def test_p_delayed_writeback_to_next_iteration_gram(self, cg):
+        assert cg.dependency[("7:pupd@0", "2a:gram@1", "P@1")] is DependencyType.DELAYED_WRITEBACK
+
+    def test_gram_outputs_are_sequential(self, cg):
+        # Contracted-dominant sources never pipeline (lines 2 and 5).
+        assert cg.dependency[("2a:gram@0", "2b:inv@0", "Delta@0")] is DependencyType.SEQUENTIAL
+        assert cg.dependency[("5:gram@0", "6:inv@0", "Gamma@1")] is DependencyType.SEQUENTIAL
+
+    def test_inverse_outputs_are_sequential(self, cg):
+        assert cg.dependency[("2b:inv@0", "3:xupd@0", "Lambda@0")] is DependencyType.SEQUENTIAL
+        assert cg.dependency[("6:inv@0", "7:pupd@0", "Phi@0")] is DependencyType.SEQUENTIAL
+
+    def test_x_edge_is_pipelineable_but_distant(self, cg):
+        # 3 -> 3': non-transitive and rank-shared, so Algorithm 2 calls it
+        # pipelineable; realization (binding) rejects it on adjacency.
+        assert cg.dependency[("3:xupd@0", "3:xupd@1", "X@1")] is DependencyType.PIPELINEABLE
+
+    def test_no_delayed_hold_in_cg(self, cg):
+        # Every transitive path crosses a contraction: CG has no holds.
+        assert cg.summary()["delayed_hold"] == 0
+
+    def test_cg_has_multicast_nodes(self, cg):
+        assert any(cg.parallel_multicast.values())
+
+
+class TestResNetClassification:
+    def test_chain_pipelines(self, resnet):
+        assert resnet.dependency[("pre:conv", "c1:conv@0", "T0@0")] is DependencyType.PIPELINEABLE
+        assert resnet.dependency[("c1:conv@0", "c2:conv@0", "T1@0")] is DependencyType.PIPELINEABLE
+        assert resnet.dependency[("c2:conv@0", "c3:conv@0", "T2@0")] is DependencyType.PIPELINEABLE
+        assert resnet.dependency[("c3:conv@0", "add:residual@0", "T3@0")] is DependencyType.PIPELINEABLE
+
+    def test_skip_connection_is_delayed_hold(self, resnet):
+        # Fig. 7 right: the whole residual path pipelines, so the skip edge
+        # holds tiles rather than writing back.
+        assert resnet.dependency[("pre:conv", "add:residual@0", "T0@0")] is DependencyType.DELAYED_HOLD
+
+    def test_conv_nodes_are_balanced(self, resnet):
+        for node in ("pre:conv", "c1:conv@0", "c2:conv@0", "c3:conv@0"):
+            assert resnet.node_letter(node) == "bal"
+
+    def test_pre_is_not_parallel_multicast(self, resnet):
+        # The skip edge is transitive; Algorithm 2 counts only
+        # non-transitive fan-out toward parallel multicast, so the producer
+        # has numcast == 1.
+        assert not resnet.parallel_multicast["pre:conv"]
+        assert resnet.numcast["pre:conv"] == 1
+
+
+class TestGnnClassification:
+    @pytest.mark.parametrize("problem", [cora_problem(), protein_problem()])
+    def test_intermediate_is_pipelineable(self, problem):
+        cdag = classify_dependencies(build_gnn_dag(problem))
+        assert cdag.dependency[("agg@0", "comb@0", "AX@0")] is DependencyType.PIPELINEABLE
+
+    def test_no_delayed_dependencies(self):
+        cdag = classify_dependencies(build_gnn_dag(cora_problem()))
+        s = cdag.summary()
+        assert s["delayed_hold"] == 0
+        assert s["delayed_writeback"] == 0
+
+
+class TestClassifiedDagApi:
+    def test_summary_counts_all_edges(self, cg):
+        s = cg.summary()
+        assert sum(s.values()) == len(cg.dag.edges())
+
+    def test_edges_of_type(self, cg):
+        pipes = cg.edges_of_type(DependencyType.PIPELINEABLE)
+        assert all(cg.dep_of(e) is DependencyType.PIPELINEABLE for e in pipes)
+
+    def test_consumer_dep_none_for_inputs(self, cg):
+        assert cg.consumer_dep("A", "1:spmm@0") is None
+
+    def test_describe_mentions_nodes_and_edges(self, cg):
+        text = cg.describe()
+        assert "1:spmm@0" in text
+        assert "delayed_writeback" in text

@@ -1,0 +1,129 @@
+"""Tests for repro.core.einsum."""
+
+import pytest
+
+from repro.core.einsum import EinsumOp, OpKind
+from repro.core.ranks import Rank
+from repro.core.tensor import csr_tensor, dense_tensor
+
+
+def gemm(m=64, k=32, n=16, name="gemm"):
+    rm, rk, rn = Rank("m", m), Rank("k", k), Rank("n", n)
+    return EinsumOp(
+        name=name,
+        inputs=(dense_tensor("A", (rm, rk)), dense_tensor("B", (rk, rn))),
+        output=dense_tensor("Z", (rm, rn)),
+        contracted=("k",),
+    )
+
+
+class TestValidation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            EinsumOp(name="", inputs=(dense_tensor("A", (Rank("m", 4),)),),
+                     output=dense_tensor("Z", (Rank("m", 4),)))
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            EinsumOp(name="op", inputs=(),
+                     output=dense_tensor("Z", (Rank("m", 4),)))
+
+    def test_duplicate_inputs_rejected(self):
+        t = dense_tensor("A", (Rank("m", 4),))
+        with pytest.raises(ValueError):
+            EinsumOp(name="op", inputs=(t, t),
+                     output=dense_tensor("Z", (Rank("m", 4),)))
+
+    def test_output_alias_needs_accumulate(self):
+        x = dense_tensor("X", (Rank("m", 4),))
+        with pytest.raises(ValueError):
+            EinsumOp(name="op", inputs=(x,), output=x)
+        # With accumulate semantics it is allowed.
+        op = EinsumOp(name="op", inputs=(x,), output=x, accumulate_input="X")
+        assert op.accumulate_input == "X"
+
+    def test_contracted_rank_must_be_on_input(self):
+        with pytest.raises(ValueError):
+            EinsumOp(
+                name="op",
+                inputs=(dense_tensor("A", (Rank("m", 4),)),),
+                output=dense_tensor("Z", (Rank("m", 4),)),
+                contracted=("q",),
+            )
+
+    def test_contracted_rank_cannot_be_on_output(self):
+        rm, rk = Rank("m", 4), Rank("k", 4)
+        with pytest.raises(ValueError):
+            EinsumOp(
+                name="op",
+                inputs=(dense_tensor("A", (rm, rk)),),
+                output=dense_tensor("Z", (rm, rk)),
+                contracted=("k",),
+            )
+
+
+class TestMetrics:
+    def test_gemm_macs(self):
+        assert gemm(64, 32, 16).macs == 64 * 32 * 16
+
+    def test_spmm_macs_use_effective_extent(self):
+        m = 1000
+        nnz = 5000
+        rk = Rank("k", m, compressed=True, effective_size=nnz / m)
+        rm, rn = Rank("m", m), Rank("n", 8)
+        op = EinsumOp(
+            name="spmm",
+            inputs=(csr_tensor("A", (rm, rk), nnz=nnz),
+                    dense_tensor("P", (rk, rn))),
+            output=dense_tensor("S", (rm, rn)),
+            contracted=("k",),
+        )
+        assert op.macs == nnz * 8  # nnz * N
+
+    def test_elementwise_macs(self):
+        rm, rn = Rank("m", 100), Rank("n", 4)
+        op = EinsumOp(
+            name="ew",
+            inputs=(dense_tensor("A", (rm, rn)),),
+            output=dense_tensor("Z", (rm, rn)),
+            kind=OpKind.ELEMENTWISE,
+        )
+        assert op.macs == 400
+
+    def test_inverse_macs_include_cube(self):
+        rn, rj, rp = Rank("n", 8), Rank("j", 8), Rank("np", 8)
+        op = EinsumOp(
+            name="inv",
+            inputs=(dense_tensor("D", (rp, rj)), dense_tensor("G", (rj, rn))),
+            output=dense_tensor("L", (rp, rn)),
+            contracted=("j",),
+            kind=OpKind.INVERSE,
+        )
+        assert op.macs == 8 ** 3 + 8 ** 3
+
+    def test_io_bytes_cold(self):
+        op = gemm(64, 32, 16)
+        assert op.io_bytes_cold == (64 * 32 + 32 * 16 + 64 * 16) * 4
+
+    def test_best_intensity_matches_eq3(self):
+        op = gemm(64, 32, 16)
+        expected = (64 * 32 * 16) / ((64 * 32 + 32 * 16 + 64 * 16) * 4)
+        assert op.arithmetic_intensity_best == pytest.approx(expected)
+
+    def test_all_ranks_dedup(self):
+        op = gemm()
+        assert tuple(r.name for r in op.all_ranks) == ("m", "k", "n")
+
+    def test_uncontracted(self):
+        assert gemm().uncontracted == ("m", "n")
+
+    def test_rank_lookup(self):
+        assert gemm().rank("k").size == 32
+        with pytest.raises(KeyError):
+            gemm().rank("zzz")
+
+    def test_input_named(self):
+        op = gemm()
+        assert op.input_named("A").name == "A"
+        with pytest.raises(KeyError):
+            op.input_named("nope")

@@ -1,0 +1,76 @@
+"""Tests for repro.core.intensity (Eq. 3/4, roofline — Fig. 2)."""
+
+import pytest
+
+from repro.core.intensity import (
+    Roofline,
+    best_arithmetic_intensity,
+    best_arithmetic_intensity_words,
+    effective_intensity,
+    gemm_macs,
+    gemm_min_dram_words,
+    skewed_limit_words,
+)
+
+
+class TestIntensity:
+    def test_gemm_macs(self):
+        assert gemm_macs(512, 512, 512) == 512 ** 3
+
+    def test_min_words(self):
+        assert gemm_min_dram_words(2, 3, 4) == 2 * 3 + 3 * 4 + 2 * 4
+
+    def test_paper_regular_gemm(self):
+        # Fig. 2(a): 512^3 GEMM has 42.66 ops/byte at 32-bit words.
+        ai = best_arithmetic_intensity(512, 512, 512, word_bytes=4)
+        assert ai == pytest.approx(42.66, abs=0.01)
+
+    def test_paper_skewed_gemm(self):
+        # Fig. 2(a): 524288x16x16 has ~2 ops/byte.
+        ai = best_arithmetic_intensity(524288, 16, 16, word_bytes=4)
+        assert ai == pytest.approx(2.0, rel=0.01)
+
+    def test_same_macs_different_intensity(self):
+        assert gemm_macs(512, 512, 512) == gemm_macs(524288, 16, 16)
+
+    def test_skewed_limit_is_n_over_2(self):
+        # Eq. 4: lim AI = N/2 ops/word.
+        assert skewed_limit_words(16) == 8.0
+        # The finite case approaches the limit from below as M grows.
+        for m in (10_000, 100_000, 1_000_000):
+            ai = best_arithmetic_intensity_words(m, 16, 16)
+            assert ai < 8.0
+        assert best_arithmetic_intensity_words(10**7, 16, 16) == pytest.approx(8.0, rel=0.01)
+
+    def test_effective_intensity(self):
+        assert effective_intensity(100, 50) == 2.0
+        assert effective_intensity(100, 0) == float("inf")
+
+
+class TestRoofline:
+    def test_ridge(self):
+        rl = Roofline(peak_ops_per_s=16384e9, bandwidth_bytes_per_s=1e12)
+        assert rl.ridge_intensity == pytest.approx(16.384)
+
+    def test_attainable_clamps_to_peak(self):
+        rl = Roofline(peak_ops_per_s=1e12, bandwidth_bytes_per_s=1e11)
+        assert rl.attainable(5.0) == 5e11          # memory bound
+        assert rl.attainable(100.0) == 1e12        # compute bound
+
+    def test_memory_bound_flag(self):
+        rl = Roofline(peak_ops_per_s=1e12, bandwidth_bytes_per_s=1e11)
+        assert rl.is_memory_bound(5.0)
+        assert not rl.is_memory_bound(50.0)
+
+    def test_series(self):
+        rl = Roofline(peak_ops_per_s=1e12, bandwidth_bytes_per_s=1e11)
+        pts = rl.series([1.0, 10.0, 100.0])
+        assert pts[0] == (1.0, 1e11)
+        assert pts[2][1] == 1e12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Roofline(peak_ops_per_s=0, bandwidth_bytes_per_s=1)
+        rl = Roofline(peak_ops_per_s=1, bandwidth_bytes_per_s=1)
+        with pytest.raises(ValueError):
+            rl.attainable(0)

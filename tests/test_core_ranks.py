@@ -1,0 +1,93 @@
+"""Tests for repro.core.ranks."""
+
+import pytest
+
+from repro.core.ranks import Rank, RankSpace, make_ranks, volume
+
+
+class TestRank:
+    def test_basic_rank(self):
+        r = Rank("m", 100)
+        assert r.size == 100
+        assert r.traversal_size == 100
+        assert not r.compressed
+
+    def test_compressed_rank_effective_size(self):
+        r = Rank("k", 1000, compressed=True, effective_size=8.5)
+        assert r.size == 1000
+        assert r.traversal_size == pytest.approx(8.5)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rank("m", 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rank("m", -4)
+
+    def test_compressed_cannot_exceed_nominal(self):
+        with pytest.raises(ValueError):
+            Rank("k", 10, compressed=True, effective_size=20)
+
+    def test_effective_defaults_to_size(self):
+        r = Rank("n", 16)
+        assert r.effective_size == 16.0
+
+    def test_zero_effective_rejected(self):
+        with pytest.raises(ValueError):
+            Rank("k", 10, compressed=True, effective_size=0)
+
+    def test_with_size(self):
+        r = Rank("m", 100)
+        r2 = r.with_size(50)
+        assert r2.size == 50
+        assert r2.name == "m"
+
+
+class TestRankSpace:
+    def test_add_and_get(self):
+        s = RankSpace()
+        r = s.add(Rank("m", 10))
+        assert s.get("m") is r
+        assert "m" in s
+        assert len(s) == 1
+
+    def test_conflicting_redefinition_rejected(self):
+        s = RankSpace([Rank("m", 10)])
+        with pytest.raises(ValueError):
+            s.add(Rank("m", 20))
+
+    def test_identical_redefinition_ok(self):
+        s = RankSpace([Rank("m", 10)])
+        s.add(Rank("m", 10))
+        assert len(s) == 1
+
+    def test_unknown_rank_raises(self):
+        s = RankSpace()
+        with pytest.raises(KeyError):
+            s.get("zzz")
+
+    def test_names_and_sizes(self):
+        s = make_ranks({"m": 10, "n": 4})
+        assert s.names() == ("m", "n")
+        assert s.sizes() == {"m": 10, "n": 4}
+
+    def test_make_ranks_compressed(self):
+        s = make_ranks({"m": 100, "k": 100}, compressed={"k": 5})
+        assert s.get("k").compressed
+        assert s.get("k").traversal_size == 5
+        assert not s.get("m").compressed
+
+
+class TestVolume:
+    def test_nominal_volume(self):
+        ranks = [Rank("m", 10), Rank("n", 4)]
+        assert volume(ranks) == 40
+
+    def test_effective_volume_with_compression(self):
+        ranks = [Rank("m", 10), Rank("k", 100, compressed=True, effective_size=2.5)]
+        assert volume(ranks, effective=True) == pytest.approx(25.0)
+        assert volume(ranks) == 1000
+
+    def test_empty_volume_is_one(self):
+        assert volume([]) == 1

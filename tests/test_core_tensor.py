@@ -1,0 +1,97 @@
+"""Tests for repro.core.tensor."""
+
+import pytest
+
+from repro.core.ranks import Rank
+from repro.core.tensor import (
+    Layout,
+    SparseFormat,
+    Sparsity,
+    TensorSpec,
+    csr_tensor,
+    dense_tensor,
+)
+
+
+def _mk(m=1000, n=8, wb=4):
+    return dense_tensor("T", (Rank("m", m), Rank("n", n)), word_bytes=wb)
+
+
+class TestDenseTensor:
+    def test_shape_and_elements(self):
+        t = _mk()
+        assert t.shape == (1000, 8)
+        assert t.n_elements == 8000
+
+    def test_bytes(self):
+        assert _mk().bytes == 8000 * 4
+        assert _mk(wb=2).bytes == 8000 * 2
+
+    def test_lines_rounds_up(self):
+        t = dense_tensor("T", (Rank("m", 3),), word_bytes=4)  # 12 bytes
+        assert t.lines(16) == 1
+        assert t.lines(8) == 2
+
+    def test_lines_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _mk().lines(0)
+
+    def test_has_rank(self):
+        t = _mk()
+        assert t.has_rank("m")
+        assert not t.has_rank("k")
+
+    def test_aspect_ratio_and_skew(self):
+        assert _mk().aspect_ratio == pytest.approx(125.0)
+        assert _mk().is_skewed
+        cube = dense_tensor("C", (Rank("a", 64), Rank("b", 64)))
+        assert not cube.is_skewed
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(name="", ranks=(Rank("m", 4),))
+
+    def test_bad_word_size_rejected(self):
+        with pytest.raises(ValueError):
+            _mk(wb=3)
+
+    def test_no_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(name="T", ranks=())
+
+
+class TestSparseTensor:
+    def test_csr_bytes_include_metadata(self):
+        # nnz values (4B) + nnz indices (4B) + (M+1) offsets (4B)
+        t = csr_tensor("A", (Rank("m", 100), Rank("k", 100)), nnz=500)
+        assert t.bytes == 500 * 4 + 500 * 4 + 101 * 4
+
+    def test_csc_uses_column_major_offsets(self):
+        t = TensorSpec(
+            "A", (Rank("m", 10), Rank("k", 20)),
+            sparsity=Sparsity(SparseFormat.CSC, nnz=30),
+        )
+        assert t.bytes == 30 * 4 + 30 * 4 + 21 * 4
+
+    def test_stored_elements_is_nnz(self):
+        t = csr_tensor("A", (Rank("m", 100), Rank("k", 100)), nnz=500)
+        assert t.stored_elements == 500
+
+    def test_sparse_requires_nnz(self):
+        with pytest.raises(ValueError):
+            Sparsity(SparseFormat.CSR)
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ValueError):
+            Sparsity(SparseFormat.CSR, nnz=-1)
+
+    def test_describe_mentions_format(self):
+        t = csr_tensor("A", (Rank("m", 10), Rank("k", 10)), nnz=5)
+        assert "csr" in t.describe()
+        assert "nnz=5" in t.describe()
+
+
+class TestLayout:
+    def test_flip(self):
+        assert Layout.ROW_MAJOR.flipped() is Layout.COL_MAJOR
+        assert Layout.COL_MAJOR.flipped() is Layout.ROW_MAJOR

@@ -1,0 +1,67 @@
+"""Smoke tests for the example scripts.
+
+Every example must parse, and the fast ones run end-to-end with reduced
+parameters (the full versions are exercised manually / in benches).
+"""
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleHygiene:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLE_FILES}
+        assert {
+            "quickstart.py",
+            "cg_solver.py",
+            "gnn_layer.py",
+            "resnet_block.py",
+            "bicgstab_solver.py",
+            "design_space.py",
+            "chord_observability.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_has_main_guard_and_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+        src = path.read_text()
+        assert 'if __name__ == "__main__":' in src
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_uses_public_api_only(self, path):
+        """Examples must demonstrate the public API: no private (_-prefixed)
+        attribute access on repro modules."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+                # engine.last_chord etc. are public; only reject _private.
+                assert not node.attr.startswith("_"), (
+                    f"{path.name} touches private attribute {node.attr}"
+                )
+
+
+class TestFastExampleExecution:
+    def test_resnet_block_example_runs(self, capsys):
+        """The ResNet example is light enough to run whole."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "example_resnet", EXAMPLES_DIR / "resnet_block.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "delayed_hold" in out
+        assert "compute" in out

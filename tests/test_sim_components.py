@@ -1,0 +1,201 @@
+"""Tests for the simulation substrate: address map, trace, perf, energy,
+results and the DRAM ledger."""
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.sim.address_map import AddressMap
+from repro.sim.dram import DramChannel
+from repro.sim.energy import energy_of, offchip_energy_j, onchip_energy_j
+from repro.sim.perf import compute_seconds, make_result, memory_seconds
+from repro.sim.results import SimResult, geomean, geomean_speedup, relative_energy
+from repro.sim.trace import auto_granularity, op_trace, program_trace, trace_bytes
+from repro.workloads.cg import CgProblem, build_cg_dag
+from repro.workloads.matrices import FV1
+
+CFG = AcceleratorConfig()
+
+
+class TestAddressMap:
+    def test_extents_are_disjoint_and_aligned(self):
+        amap = AddressMap(line_bytes=16)
+        a = amap.add("A", 100)
+        b = amap.add("B", 50)
+        assert a.end <= b.base
+        assert a.base % 16 == 0
+        assert b.base % 16 == 0
+
+    def test_duplicate_rejected(self):
+        amap = AddressMap()
+        amap.add("A", 10)
+        with pytest.raises(ValueError):
+            amap.add("A", 10)
+
+    def test_for_dag_maps_everything(self):
+        dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=1))
+        amap = AddressMap.for_dag(dag)
+        for t in dag.tensors:
+            assert t.name in amap
+            assert amap.get(t.name).nbytes == t.bytes
+
+    def test_contains_and_get(self):
+        amap = AddressMap()
+        amap.add("A", 10)
+        assert "A" in amap
+        with pytest.raises(KeyError):
+            amap.get("B")
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def cg(self):
+        dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=1))
+        return dag, AddressMap.for_dag(dag, line_bytes=CFG.line_bytes)
+
+    def test_op_trace_covers_all_operands(self, cg):
+        dag, amap = cg
+        op = dag.op("1:spmm@0")
+        segs = op_trace(op, dag, amap, rf_bytes=CFG.rf_bytes)
+        by_tensor = {}
+        for s in segs:
+            by_tensor[s.tensor] = by_tensor.get(s.tensor, 0) + s.nbytes
+        assert by_tensor["A"] == dag.tensor("A").bytes
+        assert by_tensor["P@0"] == dag.tensor("P@0").bytes
+        assert by_tensor["S@0"] == dag.tensor("S@0").bytes
+
+    def test_output_segments_are_writes(self, cg):
+        dag, amap = cg
+        op = dag.op("1:spmm@0")
+        for s in op_trace(op, dag, amap):
+            assert s.is_write == (s.tensor == "S@0")
+
+    def test_large_streams_interleave(self, cg):
+        dag, amap = cg
+        op = dag.op("1:spmm@0")
+        segs = [s for s in op_trace(op, dag, amap, interleave_chunk=4096)
+                if s.tensor in ("A", "P@0")]
+        # Chunks of A and P alternate rather than A finishing first.
+        first_ten = [s.tensor for s in segs[:10]]
+        assert "A" in first_ten and "P@0" in first_ten
+
+    def test_program_trace_bytes_equal_oracle(self, cg):
+        dag, amap = cg
+        total = trace_bytes(program_trace(dag, amap))
+        oracle = sum(
+            sum(dag.tensor(t.name).bytes for t in op.inputs)
+            + dag.tensor(op.output.name).bytes
+            for op in dag.ops
+        )
+        assert total == oracle
+
+    def test_auto_granularity_bounds_accesses(self):
+        g = auto_granularity(10**9, 16, target_accesses=1_000_000)
+        assert (10**9) // (16 * g) <= 1_000_000
+        assert g & (g - 1) == 0  # power of two
+        assert auto_granularity(0, 16) == 1
+
+
+class TestPerfModel:
+    def test_compute_seconds(self):
+        assert compute_seconds(16384 * 10**9, CFG) == pytest.approx(1.0)
+
+    def test_memory_seconds(self):
+        assert memory_seconds(10**12, CFG) == pytest.approx(1.0)
+
+    def test_roofline_takes_max(self):
+        r = make_result("c", "w", total_macs=16384 * 10**9,
+                        dram_read_bytes=0, dram_write_bytes=10**11, cfg=CFG)
+        assert r.time_s == pytest.approx(1.0)  # compute bound
+        assert not r.memory_bound
+
+    def test_memory_bound_detection(self):
+        r = make_result("c", "w", total_macs=1000,
+                        dram_read_bytes=10**9, dram_write_bytes=0, cfg=CFG)
+        assert r.memory_bound
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_seconds(-1, CFG)
+        with pytest.raises(ValueError):
+            memory_seconds(-1, CFG)
+
+
+class TestResults:
+    def _r(self, dram, macs=1000):
+        return make_result("c", "w", macs, dram, 0, CFG)
+
+    def test_speedup(self):
+        fast, slow = self._r(100), self._r(400)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_dram_reduction(self):
+        a, b = self._r(100), self._r(400)
+        assert a.dram_reduction_vs(b) == pytest.approx(0.75)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_speedup(self):
+        fast = [self._r(100), self._r(100)]
+        slow = [self._r(200), self._r(800)]
+        assert geomean_speedup(fast, slow) == pytest.approx(4.0)
+
+    def test_relative_energy(self):
+        res = {"a": self._r(100), "b": self._r(50)}
+        rel = relative_energy(res, "a")
+        assert rel == {"a": 1.0, "b": 0.5}
+
+    def test_effective_intensity(self):
+        r = self._r(dram=500, macs=1000)
+        assert r.effective_intensity == pytest.approx(2.0)
+
+    def test_as_dict_keys(self):
+        d = self._r(10).as_dict()
+        assert {"config", "workload", "dram_bytes", "throughput_gmacs"} <= set(d)
+
+
+class TestEnergy:
+    def test_offchip_energy_scales_with_traffic(self):
+        assert offchip_energy_j(2000) == pytest.approx(2 * offchip_energy_j(1000))
+
+    def test_onchip_charges_structures(self):
+        e = onchip_energy_j({"cache": 1000, "chord": 1000}, CFG)
+        assert e["cache"] > e["chord"]  # tag probes cost extra
+
+    def test_unknown_structure_uses_small_cost(self):
+        e = onchip_energy_j({"rf": 100}, CFG)
+        assert e["rf"] > 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            onchip_energy_j({"cache": -1}, CFG)
+
+    def test_energy_of_result(self):
+        r = make_result("c", "w", 1000, 1000, 1000, CFG,
+                        onchip_accesses={"chord": 10})
+        e = energy_of(r, CFG)
+        assert e.total_j == pytest.approx(e.offchip_j + e.onchip_j)
+        assert e.offchip_j > 0
+
+
+class TestDramChannel:
+    def test_ledger(self):
+        d = DramChannel()
+        d.read(100, "cold")
+        d.write(50, "spill")
+        assert d.total_bytes == 150
+        assert d.by_reason == {"cold": 100, "spill": 50}
+
+    def test_merge_stats(self):
+        d = DramChannel()
+        d.merge_stats(10, 20, "chord")
+        assert d.read_bytes == 10
+        assert d.write_bytes == 20
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DramChannel().read(-1)

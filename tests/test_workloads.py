@@ -1,0 +1,216 @@
+"""Tests for the workload builders and synthetic datasets (Table VI)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workloads.bicgstab import BiCgStabProblem, bicgstab_ops_per_iteration, build_bicgstab_dag
+from repro.workloads.cg import CgProblem, build_cg_dag, cg_ops_per_iteration, total_macs
+from repro.workloads.gnn import GnnProblem, build_gnn_dag, cora_problem, protein_problem
+from repro.workloads.matrices import (
+    DATASETS,
+    FV1,
+    G2_CIRCUIT,
+    NASA4704,
+    SHALLOW_WATER1,
+    banded_spd,
+    graph_adjacency,
+    poisson2d,
+    random_symmetric_spd,
+    spec_of,
+    stencil9,
+    synthesize,
+)
+from repro.workloads.registry import (
+    all_bicgstab_workloads,
+    all_cg_workloads,
+    all_gnn_workloads,
+    all_workloads,
+    resnet_workload,
+)
+from repro.workloads.resnet import ResNetBlockProblem, build_resnet_block_dag
+
+
+class TestMatrixSpecs:
+    def test_table_vi_values(self):
+        assert FV1.m == 9604 and FV1.nnz == 85264
+        assert SHALLOW_WATER1.m == 81920 and SHALLOW_WATER1.nnz == 327680
+        assert G2_CIRCUIT.m == 150102 and G2_CIRCUIT.nnz == 726674
+        assert NASA4704.m == 4704 and NASA4704.nnz == 104756
+
+    def test_csr_bytes(self):
+        assert FV1.csr_bytes() == 85264 * 8 + 9605 * 4
+
+    def test_registry_complete(self):
+        assert set(DATASETS) == {
+            "fv1", "shallow_water1", "G2_circuit", "NASA4704", "cora", "protein"
+        }
+
+
+def _is_spd(a, probes=3, seed=0):
+    """Cheap SPD check: symmetry + positive Rayleigh quotients."""
+    sym = abs(a - a.T).max() == 0
+    rng = np.random.default_rng(seed)
+    ok = all(
+        float(v @ (a @ v)) > 0
+        for v in (rng.standard_normal(a.shape[0]) for _ in range(probes))
+    )
+    return sym and ok
+
+
+class TestGenerators:
+    def test_poisson2d_shape_and_spd(self):
+        a = poisson2d(12)
+        assert a.shape == (144, 144)
+        assert _is_spd(a)
+
+    def test_stencil9_occupancy(self):
+        a = stencil9(12)
+        assert a.shape == (144, 144)
+        assert 7.0 <= a.nnz / 144 <= 9.0
+        assert _is_spd(a)
+
+    def test_banded_spd(self):
+        a = banded_spd(500, bands=2)
+        assert _is_spd(a)
+        assert a.nnz / 500 <= 5.0
+
+    def test_random_symmetric_spd(self):
+        a = random_symmetric_spd(300, nnz_target=1800, seed=1)
+        assert _is_spd(a)
+        assert abs(a.nnz - 1800) / 1800 < 0.3
+
+    def test_graph_adjacency_binary(self):
+        a = graph_adjacency(100, 600, seed=2)
+        assert set(np.unique(a.data)) == {1.0}
+        assert abs(a - a.T).max() == 0
+
+    @pytest.mark.parametrize("spec", [FV1, SHALLOW_WATER1, NASA4704])
+    def test_synthesize_matches_spec(self, spec):
+        a = synthesize(spec)
+        assert a.shape == (spec.m, spec.m)
+        assert abs(a.nnz - spec.nnz) / spec.nnz < 0.20
+
+    def test_spec_of_measures(self):
+        a = poisson2d(10)
+        s = spec_of(a, "p")
+        assert s.m == 100
+        assert s.nnz == a.nnz
+
+
+class TestCgDag:
+    def test_op_count(self):
+        for iters in (1, 3):
+            dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=iters))
+            assert len(dag) == cg_ops_per_iteration() * iters
+
+    def test_program_inputs(self):
+        dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=2))
+        assert set(dag.program_inputs()) == {"A", "P@0", "R@0", "X@0", "Gamma@0"}
+
+    def test_program_outputs(self):
+        dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=2))
+        assert set(dag.program_outputs()) == {"X@2", "P@2"}
+
+    def test_consumer_structure_matches_algorithm1(self):
+        dag = build_cg_dag(CgProblem(matrix=FV1, n=16, iterations=2))
+        # P_i feeds lines 1, 2a, 3, 7 of its iteration.
+        assert set(dag.consumers_of("P@1")) == {
+            "1:spmm@1", "2a:gram@1", "3:xupd@1", "7:pupd@1"
+        }
+        # S_i feeds 2a and 4.
+        assert set(dag.consumers_of("S@0")) == {"2a:gram@0", "4:rupd@0"}
+        # R_{i+1} feeds 5 and 7 of its iteration, 4 of the next.
+        assert set(dag.consumers_of("R@1")) == {"5:gram@0", "7:pupd@0", "4:rupd@1"}
+        # A feeds every iteration's SpMM.
+        assert set(dag.consumers_of("A")) == {"1:spmm@0", "1:spmm@1"}
+
+    def test_macs_match_closed_form(self):
+        p = CgProblem(matrix=FV1, n=16, iterations=3)
+        dag = build_cg_dag(p)
+        dag_macs = sum(op.macs for op in dag.ops)
+        assert dag_macs == pytest.approx(total_macs(p), rel=0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CgProblem(matrix=FV1, n=0)
+        with pytest.raises(ValueError):
+            CgProblem(matrix=FV1, n=4, iterations=0)
+
+
+class TestBicgstabDag:
+    def test_op_count(self):
+        p = BiCgStabProblem(matrix=NASA4704, n=1, iterations=2)
+        dag = build_bicgstab_dag(p)
+        assert len(dag) == bicgstab_ops_per_iteration() * 2
+
+    def test_every_skewed_intermediate_has_delayed_consumer(self):
+        from repro.core.classify import DependencyType, classify_dependencies
+
+        p = BiCgStabProblem(matrix=NASA4704, n=1, iterations=2)
+        cdag = classify_dependencies(build_bicgstab_dag(p))
+        assert cdag.summary()[DependencyType.DELAYED_WRITEBACK.value] > 0
+
+    def test_s_consumers(self):
+        p = BiCgStabProblem(matrix=NASA4704, n=1, iterations=1)
+        dag = build_bicgstab_dag(p)
+        assert set(dag.consumers_of("S@0")) == {
+            "t:spmm@0", "w:omega@0", "x:xupd@0", "q:rupd@0"
+        }
+
+
+class TestGnnDag:
+    def test_shapes_cora(self):
+        dag = build_gnn_dag(cora_problem())
+        assert dag.tensor("X@0").shape == (2708, 1433)
+        assert dag.tensor("H@0").shape == (2708, 7)
+
+    def test_multilayer_chains(self):
+        dag = build_gnn_dag(protein_problem(), layers=2)
+        assert len(dag) == 4
+        assert dag.consumers_of("H@0") == ("agg@1",)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            build_gnn_dag(cora_problem(), layers=0)
+        with pytest.raises(ValueError):
+            GnnProblem(graph=FV1, in_features=0, out_features=2)
+
+
+class TestResNetDag:
+    def test_structure(self):
+        dag = build_resnet_block_dag()
+        assert len(dag) == 5  # pre + 3 convs + add
+        assert set(dag.consumers_of("T0@0")) == {"c1:conv@0", "add:residual@0"}
+
+    def test_word_size_is_16bit(self):
+        dag = build_resnet_block_dag()
+        assert dag.tensor("T0@0").word_bytes == 2
+
+    def test_conv2_macs(self):
+        dag = build_resnet_block_dag()
+        c2 = dag.op("c2:conv@0")
+        assert c2.macs == 784 * 9 * 128 * 128
+
+    def test_stacked_blocks(self):
+        dag = build_resnet_block_dag(ResNetBlockProblem(blocks=2))
+        assert len(dag) == 9
+        assert set(dag.consumers_of("T0@1")) == {"c1:conv@1", "add:residual@1"}
+
+
+class TestRegistry:
+    def test_all_workloads_buildable(self):
+        ws = all_workloads()
+        assert len(ws) == 6 + 3 + 2 + 1  # CG grid + bicgstab + gnn + resnet
+        # Spot-build a few.
+        for name in ("cg/fv1/N=1", "gnn/cora", "resnet/conv3_x"):
+            dag = ws[name].build()
+            assert len(dag) > 0
+
+    def test_cg_grid(self):
+        names = [w.name for w in all_cg_workloads()]
+        assert "cg/fv1/N=1" in names and "cg/G2_circuit/N=16" in names
+
+    def test_bicgstab_n1(self):
+        for w in all_bicgstab_workloads():
+            assert "N=1" in w.name
