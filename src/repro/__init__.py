@@ -28,6 +28,7 @@ from . import (
     core,
     experiments,
     hw,
+    orchestrator,
     score,
     sim,
     solvers,
@@ -44,6 +45,7 @@ __all__ = [
     "core",
     "experiments",
     "hw",
+    "orchestrator",
     "score",
     "sim",
     "solvers",

@@ -12,7 +12,14 @@ from .flexagon import oracle_traffic, run_flexagon
 from .flat import covered_tensors, flat_schedule, run_flat
 from .set_sched import run_set, set_schedule
 from .cello import cello_schedule, run_cello, run_prelude_only
-from .runner import clear_cache, run_matrix, run_workload_config
+from .runner import (
+    clear_cache,
+    get_store,
+    run_matrix,
+    run_workload_config,
+    set_store,
+    simulation_count,
+)
 
 __all__ = [
     "EXTRA_CONFIGS",
@@ -32,6 +39,9 @@ __all__ = [
     "run_cello",
     "run_prelude_only",
     "clear_cache",
+    "get_store",
     "run_matrix",
     "run_workload_config",
+    "set_store",
+    "simulation_count",
 ]

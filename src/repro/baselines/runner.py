@@ -1,9 +1,21 @@
-"""Batch runner with memoisation.
+"""Batch runner with two-tier memoisation.
 
 Experiments sweep (workload × config × bandwidth); DRAM traffic is
 bandwidth-independent, so the runner simulates traffic once per
 (workload, config, SRAM size) and re-times it per bandwidth point — the
 same shortcut the roofline model licenses.
+
+Memoisation is layered:
+
+* a process-local dict (always on), and
+* an optional persistent :class:`~repro.orchestrator.store.ResultStore`
+  (install with :func:`set_store`) that survives across invocations —
+  the CLI enables it by default so ``python -m repro all`` is
+  near-instant once warm.
+
+The orchestrator's parallel runner seeds both layers via
+:func:`seed_cache` so experiment modules replay pre-warmed sweeps
+without re-simulating.
 """
 
 from __future__ import annotations
@@ -11,31 +23,74 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..hw.config import AcceleratorConfig
+from ..orchestrator.store import ResultStore, result_key
 from ..sim.perf import make_result
 from ..sim.results import SimResult
 from ..workloads.registry import Workload
 from .configs import MAIN_CONFIGS, run_config
 
 _CACHE: Dict[Tuple, SimResult] = {}
+_STORE: Optional[ResultStore] = None
+_SIMULATIONS = 0
 
 
 def clear_cache() -> None:
+    """Drop the process-local tier (the persistent store is untouched)."""
     _CACHE.clear()
+
+
+def set_store(store: Optional[ResultStore]) -> None:
+    """Install (or with ``None`` remove) the persistent result store."""
+    global _STORE
+    _STORE = store
+
+
+def get_store() -> Optional[ResultStore]:
+    return _STORE
+
+
+def simulation_count() -> int:
+    """Traffic simulations actually executed or dispatched this process."""
+    return _SIMULATIONS
+
+
+def reset_simulation_count() -> None:
+    global _SIMULATIONS
+    _SIMULATIONS = 0
+
+
+def count_simulations(n: int = 1) -> None:
+    """Attribute ``n`` simulations (used by parallel workers' parent)."""
+    global _SIMULATIONS
+    _SIMULATIONS += n
+    if _STORE is not None:
+        _STORE.simulations += n
 
 
 def _traffic_key(config: str, workload: Workload, cfg: AcceleratorConfig,
                  cache_granularity: Optional[int]) -> Tuple:
-    return (
-        config,
-        workload.name,
-        cfg.sram_bytes,
-        cfg.line_bytes,
-        cfg.cache_associativity,
-        cfg.chord_entries,
-        cfg.pipeline_fraction,
-        cfg.rf_bytes,
-        cache_granularity,
-    )
+    return result_key(config, workload.name, cfg, cache_granularity)
+
+
+def peek(key: Tuple) -> Optional[SimResult]:
+    """Cached base result for ``key``, consulting both tiers; no simulation.
+
+    A store hit is promoted into the process-local dict (and counted as a
+    store hit exactly once per process).
+    """
+    base = _CACHE.get(key)
+    if base is None and _STORE is not None:
+        base = _STORE.get(key)
+        if base is not None:
+            _CACHE[key] = base
+    return base
+
+
+def seed_cache(key: Tuple, base: SimResult) -> None:
+    """Insert a simulated base result into both cache tiers."""
+    _CACHE[key] = base
+    if _STORE is not None:
+        _STORE.put(key, base)
 
 
 def run_workload_config(
@@ -46,15 +101,16 @@ def run_workload_config(
 ) -> SimResult:
     """Run (memoised on traffic) and time under ``cfg``'s bandwidth."""
     key = _traffic_key(config, workload, cfg, cache_granularity)
-    base = _CACHE.get(key)
+    base = peek(key)
     if base is None:
         dag = workload.build()
+        count_simulations()
         base = run_config(
             config, dag, cfg,
             workload_name=workload.name,
             cache_granularity=cache_granularity,
         )
-        _CACHE[key] = base
+        seed_cache(key, base)
     # Re-time for this bandwidth (traffic is bandwidth-independent).
     return make_result(
         config=base.config,
@@ -72,8 +128,28 @@ def run_matrix(
     configs: Sequence[str] = MAIN_CONFIGS,
     cfg: AcceleratorConfig = AcceleratorConfig(),
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, SimResult]]:
-    """Run every (workload, config) pair: result[workload][config]."""
+    """Run every (workload, config) pair: result[workload][config].
+
+    With ``jobs > 1`` (or ``jobs=None`` for one worker per core) the
+    uncached pairs are simulated in parallel first (registry-resolvable
+    workloads only — see
+    :func:`repro.workloads.registry.resolve_workload`); assembly then
+    replays from the warm cache, so the output is identical to ``jobs=1``.
+    """
+    if jobs is None or jobs > 1:
+        from ..orchestrator.parallel import prewarm
+        from ..orchestrator.spec import SweepPoint
+
+        prewarm(
+            [
+                SweepPoint(w.name, c, cfg, cache_granularity)
+                for w in workloads
+                for c in configs
+            ],
+            jobs=jobs,
+        )
     out: Dict[str, Dict[str, SimResult]] = {}
     for w in workloads:
         out[w.name] = {

@@ -1,19 +1,33 @@
-"""Command-line interface: regenerate any paper table/figure.
+"""Command-line interface: regenerate any paper table/figure, run custom
+sweeps, and manage the persistent result cache.
 
 Usage::
 
     python -m repro list                 # show available experiments
     python -m repro fig12                # regenerate Fig. 12 (CG performance)
     python -m repro fig16a fig16c        # several at once
-    python -m repro all                  # everything (minutes)
+    python -m repro all --jobs 4         # everything, sweeps 4-wide
+    python -m repro sweep --workloads 'cg/*' --configs Flexagon,CELLO
+    python -m repro cache stat           # persistent-cache hit counters
+    python -m repro cache clear
+
+Experiment and sweep runs read/write an on-disk result store
+(``~/.cache/repro`` by default; override with ``--cache-dir`` or the
+``REPRO_CACHE_DIR`` environment variable, disable with ``--no-cache``),
+so repeat invocations replay simulations instead of re-running them.
+``--jobs N`` fans uncached sweep points out over N worker processes;
+reports are byte-identical to the serial path either way.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
+from .analysis.report import render_table
+from .baselines import runner
+from .baselines.configs import MAIN_CONFIGS, config_names
 from .experiments import (
     fig01_fig07_dag,
     fig02_roofline,
@@ -30,23 +44,28 @@ from .experiments import (
     table02_schedulers,
     table03_buffers,
 )
+from .hw.config import GB, MIB
+from .orchestrator import ResultStore, SweepSpec, run_sweep
+from .workloads.registry import is_resolvable
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "fig1": lambda: fig01_fig07_dag.report(),
-    "fig2": lambda: fig02_roofline.report(),
-    "fig7": lambda: fig01_fig07_dag.report(),
-    "fig8": lambda: fig08_multinode.report(),
-    "fig12": lambda: fig12_cg_performance.report(),
-    "fig13": lambda: fig13_gnn_bicgstab.report(),
-    "fig14": lambda: fig14_energy.report(),
-    "fig15": lambda: fig15_area_energy.report(),
-    "fig16a": lambda: fig16a_resnet.report(),
-    "fig16b": lambda: fig16b_sram_sweep.report(),
-    "fig16c": lambda: fig16c_prelude_only.report(),
-    "table1": lambda: table01_hpcg.report(),
-    "table2": lambda: table02_schedulers.report(),
-    "table3": lambda: table03_buffers.report(),
-    "sec6b": lambda: sec6b_searchspace.report(),
+#: Each experiment takes ``jobs`` (worker processes for its sweep; modules
+#: without a sweep ignore it) and returns its report text.
+EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "fig1": lambda jobs: fig01_fig07_dag.report(),
+    "fig2": lambda jobs: fig02_roofline.report(),
+    "fig7": lambda jobs: fig01_fig07_dag.report(),
+    "fig8": lambda jobs: fig08_multinode.report(),
+    "fig12": lambda jobs: fig12_cg_performance.report(jobs=jobs),
+    "fig13": lambda jobs: fig13_gnn_bicgstab.report(jobs=jobs),
+    "fig14": lambda jobs: fig14_energy.report(jobs=jobs),
+    "fig15": lambda jobs: fig15_area_energy.report(),
+    "fig16a": lambda jobs: fig16a_resnet.report(jobs=jobs),
+    "fig16b": lambda jobs: fig16b_sram_sweep.report(jobs=jobs),
+    "fig16c": lambda jobs: fig16c_prelude_only.report(jobs=jobs),
+    "table1": lambda jobs: table01_hpcg.report(),
+    "table2": lambda jobs: table02_schedulers.report(),
+    "table3": lambda jobs: table03_buffers.report(),
+    "sec6b": lambda jobs: sec6b_searchspace.report(),
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -72,42 +91,196 @@ def list_experiments() -> str:
     lines = ["Available experiments:"]
     for name in sorted(EXPERIMENTS):
         lines.append(f"  {name:8s} {DESCRIPTIONS[name]}")
+    lines.append("")
+    lines.append("Other commands:")
+    lines.append("  sweep    run a custom (workload x config x sram x bw) sweep")
+    lines.append("  cache    persistent result cache: stat | clear")
     return "\n".join(lines)
 
 
-def main(argv: list | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate tables/figures of the CELLO reproduction.",
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent result-store directory (default ~/.cache/repro "
+             "or $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
-        "experiments", nargs="*",
-        help="experiment ids (e.g. fig12 table2), 'all', or 'list'",
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result store",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for sweeps (0 = one per core; default 1)",
+    )
 
-    targets = args.experiments or ["list"]
-    if targets == ["list"]:
-        print(list_experiments())
-        return 0
+
+def _install_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    if args.no_cache:
+        runner.set_store(None)
+        return None
+    store = ResultStore(args.cache_dir)
+    runner.set_store(store)
+    return store
+
+
+def _jobs_arg(args: argparse.Namespace) -> Optional[int]:
+    return None if args.jobs == 0 else max(1, args.jobs)
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    targets = args.experiments
     if targets == ["all"]:
         targets = sorted(EXPERIMENTS)
-
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(list_experiments(), file=sys.stderr)
         return 2
 
-    seen = set()
-    for t in targets:
-        if t in seen:
-            continue
-        seen.add(t)
-        print(f"=== {t}: {DESCRIPTIONS[t]} ===")
-        print(EXPERIMENTS[t]())
-        print()
+    store = _install_store(args)
+    jobs = _jobs_arg(args)
+    try:
+        seen = set()
+        for t in targets:
+            if t in seen:
+                continue
+            seen.add(t)
+            print(f"=== {t}: {DESCRIPTIONS[t]} ===")
+            print(EXPERIMENTS[t](jobs))
+            print()
+    finally:
+        if store is not None:
+            store.save_stats()
+        runner.set_store(None)
     return 0
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(x) for x in text.split(",") if x.strip()]
+
+
+def _sweep_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a custom (workload x config x SRAM x bandwidth) sweep.",
+    )
+    parser.add_argument(
+        "--workloads", default="*", metavar="PATTERNS",
+        help="comma-separated registry names or fnmatch patterns "
+             "(e.g. 'cg/*,gnn/cora'; default: every registered workload)",
+    )
+    parser.add_argument(
+        "--configs", default=",".join(MAIN_CONFIGS), metavar="NAMES",
+        help=f"comma-separated Table IV configs (default: main five; "
+             f"known: {', '.join(config_names())})",
+    )
+    parser.add_argument(
+        "--sram-mb", default="", metavar="MBS",
+        help="comma-separated SRAM sizes in MiB (default: 4)",
+    )
+    parser.add_argument(
+        "--bandwidth-gb", default="", metavar="GBS",
+        help="comma-separated DRAM bandwidths in GB/s (default: 1000)",
+    )
+    _add_cache_args(parser)
+    args = parser.parse_args(argv)
+
+    unknown = [c for c in args.configs.split(",") if c and c not in config_names()]
+    if unknown:
+        print(f"unknown config(s): {', '.join(unknown)}; "
+              f"known: {', '.join(config_names())}", file=sys.stderr)
+        return 2
+
+    spec = SweepSpec(
+        workloads=tuple(w for w in args.workloads.split(",") if w.strip()),
+        configs=tuple(c for c in args.configs.split(",") if c.strip()),
+        sram_bytes=tuple(int(m * MIB) for m in _parse_floats(args.sram_mb)),
+        bandwidths=tuple(g * GB for g in _parse_floats(args.bandwidth_gb)),
+    )
+    points = spec.points()
+    if not points:
+        print("sweep matched no (workload, config) points", file=sys.stderr)
+        return 2
+    bad = sorted({p.workload for p in points if not is_resolvable(p.workload)})
+    if bad:
+        from .workloads.registry import all_workloads
+
+        print(f"unknown workload(s): {', '.join(bad)}; "
+              f"known: {', '.join(sorted(all_workloads()))}", file=sys.stderr)
+        return 2
+
+    store = _install_store(args)
+    try:
+        results = run_sweep(spec, jobs=_jobs_arg(args))
+    finally:
+        if store is not None:
+            store.save_stats()
+        runner.set_store(None)
+
+    rows = []
+    for p, r in zip(points, results):
+        rows.append([
+            p.workload,
+            p.config,
+            p.cfg.sram_bytes / MIB,
+            p.cfg.dram_bandwidth_bytes_per_s / GB,
+            r.dram_bytes / 1e6,
+            r.throughput_gmacs,
+            "mem" if r.memory_bound else "compute",
+        ])
+    print(render_table(
+        ["workload", "config", "SRAM MB", "BW GB/s", "DRAM MB", "GMAC/s", "bound"],
+        rows,
+        title=f"Sweep: {len(points)} points",
+    ))
+    return 0
+
+
+def _cache_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the persistent result store.",
+    )
+    parser.add_argument("action", choices=("stat", "clear"))
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="store directory (default ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.cache_dir)
+    if args.action == "stat":
+        print(store.describe())
+    else:
+        dropped = store.clear()
+        print(f"cleared {dropped} cached result(s) from {store.directory}")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the CELLO reproduction.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (e.g. fig12 table2), 'all', or 'list'; "
+             "see also the 'sweep' and 'cache' subcommands",
+    )
+    _add_cache_args(parser)
+    args = parser.parse_args(argv)
+
+    targets = args.experiments or ["list"]
+    if targets == ["list"]:
+        print(list_experiments())
+        return 0
+    args.experiments = targets
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from ..baselines.runner import run_workload_config
 from ..hw.config import GB, AcceleratorConfig
@@ -14,13 +14,46 @@ def bandwidth_label(bytes_per_s: float) -> str:
     return f"{bytes_per_s / GB:.0f}GB/s"
 
 
+def prewarm_grid(
+    workloads: Iterable[Workload],
+    configs: Sequence[str],
+    cfgs: Iterable[AcceleratorConfig],
+    cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
+) -> int:
+    """Pre-simulate workloads × configs × cfgs across processes.
+
+    No-op for ``jobs=1`` (the serial path simulates lazily); ``jobs=None``
+    means one worker per core.  Outputs are unaffected either way — the
+    experiment loops below replay from the warm cache — so every ``run()``
+    stays byte-identical to its serial result.
+    """
+    if jobs is not None and jobs <= 1:
+        return 0
+    from ..orchestrator.parallel import prewarm
+    from ..orchestrator.spec import SweepPoint
+
+    return prewarm(
+        [
+            SweepPoint(w.name, c, cfg, cache_granularity)
+            for w in workloads
+            for c in configs
+            for cfg in cfgs
+        ],
+        jobs=jobs,
+    )
+
+
 def run_configs(
     workload: Workload,
     configs: Sequence[str],
     cfg: AcceleratorConfig,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, SimResult]:
     """Run several Table IV configurations on one workload."""
+    prewarm_grid([workload], configs, [cfg],
+                 cache_granularity=cache_granularity, jobs=jobs)
     return {
         c: run_workload_config(
             workload, c, cfg, cache_granularity=cache_granularity

@@ -18,7 +18,7 @@ from ..baselines.runner import run_workload_config
 from ..hw.config import BANDWIDTH_POINTS, AcceleratorConfig
 from ..sim.results import SimResult, geomean
 from ..workloads.registry import CG_DATASETS, CG_N_VALUES, cg_workload
-from .common import bandwidth_label
+from .common import bandwidth_label, prewarm_grid
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,15 @@ def run(
     n_values: Sequence[int] = CG_N_VALUES,
     iterations: int = 10,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig12Panel, ...]:
+    # Bandwidth variants share one simulation, so the prewarm grid only
+    # spans (dataset × N) × config at the base cfg.
+    prewarm_grid(
+        [cg_workload(ds, n, iterations=iterations)
+         for ds in datasets for n in n_values],
+        configs, [cfg], cache_granularity=cache_granularity, jobs=jobs,
+    )
     panels = []
     for ds in datasets:
         for n in n_values:
@@ -69,9 +77,10 @@ def report(
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     iterations: int = 10,
+    jobs: Optional[int] = 1,
 ) -> str:
     panels = run(cfg, configs=configs, iterations=iterations,
-                 cache_granularity=cache_granularity)
+                 cache_granularity=cache_granularity, jobs=jobs)
     rows = []
     for p in panels:
         row = [p.dataset, p.n, bandwidth_label(p.bandwidth)]

@@ -20,6 +20,7 @@ from ..workloads.registry import (
     all_bicgstab_workloads,
     all_gnn_workloads,
 )
+from .common import prewarm_grid
 
 
 @dataclass(frozen=True)
@@ -33,9 +34,13 @@ def run(
     cfg: AcceleratorConfig = AcceleratorConfig(),
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig13Panel, ...]:
+    workloads = (*all_gnn_workloads(), *all_bicgstab_workloads())
+    prewarm_grid(workloads, configs, [cfg],
+                 cache_granularity=cache_granularity, jobs=jobs)
     panels = []
-    for w in (*all_gnn_workloads(), *all_bicgstab_workloads()):
+    for w in workloads:
         results = {
             c: run_workload_config(w, c, cfg, cache_granularity=cache_granularity)
             for c in configs
@@ -48,8 +53,10 @@ def report(
     cfg: AcceleratorConfig = AcceleratorConfig(),
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> str:
-    panels = run(cfg, configs=configs, cache_granularity=cache_granularity)
+    panels = run(cfg, configs=configs, cache_granularity=cache_granularity,
+                 jobs=jobs)
     rows = []
     for p in panels:
         row = [p.workload]

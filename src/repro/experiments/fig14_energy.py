@@ -20,6 +20,7 @@ from ..workloads.registry import (
     all_cg_workloads,
     all_gnn_workloads,
 )
+from .common import prewarm_grid
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,12 @@ def run(
     cfg: AcceleratorConfig = AcceleratorConfig(),
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig14Row, ...]:
+    prewarm_grid(
+        [w for workloads in _family_workloads().values() for w in workloads],
+        configs, [cfg], cache_granularity=cache_granularity, jobs=jobs,
+    )
     rows = []
     for family, workloads in _family_workloads().items():
         ratios: Dict[str, list] = {c: [] for c in configs}
@@ -71,8 +77,10 @@ def report(
     cfg: AcceleratorConfig = AcceleratorConfig(),
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> str:
-    rows = run(cfg, configs=configs, cache_granularity=cache_granularity)
+    rows = run(cfg, configs=configs, cache_granularity=cache_granularity,
+               jobs=jobs)
     table_rows = [
         [r.family] + [r.relative[c] for c in configs] for r in rows
     ]

@@ -17,7 +17,7 @@ from ..baselines.runner import run_workload_config
 from ..hw.config import BANDWIDTH_POINTS, AcceleratorConfig
 from ..sim.results import SimResult
 from ..workloads.registry import resnet_workload
-from .common import bandwidth_label
+from .common import bandwidth_label, prewarm_grid
 
 CONFIGS: Tuple[str, ...] = ("Flexagon", "Flex+LRU", "Flex+BRRIP", "FLAT", "SET", "CELLO")
 
@@ -33,8 +33,11 @@ def run(
     configs: Sequence[str] = CONFIGS,
     bandwidths: Sequence[float] = BANDWIDTH_POINTS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig16aPanel, ...]:
     w = resnet_workload()
+    prewarm_grid([w], configs, [cfg],
+                 cache_granularity=cache_granularity, jobs=jobs)
     panels = []
     for bw in bandwidths:
         c = cfg.with_bandwidth(bw)
@@ -50,8 +53,10 @@ def report(
     cfg: AcceleratorConfig = AcceleratorConfig(),
     configs: Sequence[str] = CONFIGS,
     cache_granularity: Optional[int] = None,
+    jobs: Optional[int] = 1,
 ) -> str:
-    panels = run(cfg, configs=configs, cache_granularity=cache_granularity)
+    panels = run(cfg, configs=configs, cache_granularity=cache_granularity,
+                 jobs=jobs)
     perf_rows = []
     for p in panels:
         perf_rows.append(

@@ -9,7 +9,7 @@ fits by 4 MB so 4 MB == 16 MB; at N=16 capacity keeps paying through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from ..baselines.runner import run_workload_config
@@ -17,6 +17,7 @@ from ..hw.config import MIB, AcceleratorConfig
 from ..sim.results import SimResult
 from ..workloads.registry import cg_workload
 from ..workloads.matrices import SHALLOW_WATER1
+from .common import prewarm_grid
 
 SRAM_SWEEP_BYTES: Tuple[int, ...] = (1 * MIB, 4 * MIB, 16 * MIB)
 N_VALUES: Tuple[int, ...] = (1, 16)
@@ -34,7 +35,12 @@ def run(
     srams: Sequence[int] = SRAM_SWEEP_BYTES,
     n_values: Sequence[int] = N_VALUES,
     iterations: int = 10,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig16bPoint, ...]:
+    prewarm_grid(
+        [cg_workload(SHALLOW_WATER1, n, iterations=iterations) for n in n_values],
+        ("CELLO",), [cfg.with_sram(s) for s in srams], jobs=jobs,
+    )
     points = []
     for n in n_values:
         w = cg_workload(SHALLOW_WATER1, n, iterations=iterations)
@@ -46,8 +52,8 @@ def run(
 
 
 def report(cfg: AcceleratorConfig = AcceleratorConfig(),
-           iterations: int = 10) -> str:
-    points = run(cfg, iterations=iterations)
+           iterations: int = 10, jobs: Optional[int] = 1) -> str:
+    points = run(cfg, iterations=iterations, jobs=jobs)
     rows = [
         [
             p.n,

@@ -11,7 +11,7 @@ small relative to the SRAM).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from ..baselines.runner import run_workload_config
@@ -19,6 +19,7 @@ from ..hw.config import AcceleratorConfig
 from ..sim.results import SimResult
 from ..workloads.registry import cg_workload
 from ..workloads.matrices import SHALLOW_WATER1
+from .common import prewarm_grid
 
 CONFIGS: Tuple[str, ...] = ("Flexagon", "FLAT", "PRELUDE-only", "CELLO")
 N_VALUES: Tuple[int, ...] = (1, 16)
@@ -47,7 +48,12 @@ def run(
     configs: Sequence[str] = CONFIGS,
     n_values: Sequence[int] = N_VALUES,
     iterations: int = 10,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Fig16cPanel, ...]:
+    prewarm_grid(
+        [cg_workload(SHALLOW_WATER1, n, iterations=iterations) for n in n_values],
+        configs, [cfg], jobs=jobs,
+    )
     panels = []
     for n in n_values:
         w = cg_workload(SHALLOW_WATER1, n, iterations=iterations)
@@ -57,8 +63,8 @@ def run(
 
 
 def report(cfg: AcceleratorConfig = AcceleratorConfig(),
-           iterations: int = 10) -> str:
-    panels = run(cfg, iterations=iterations)
+           iterations: int = 10, jobs: Optional[int] = 1) -> str:
+    panels = run(cfg, iterations=iterations, jobs=jobs)
     rows = []
     for p in panels:
         rows.append(

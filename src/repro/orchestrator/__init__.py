@@ -1,0 +1,41 @@
+"""Experiment orchestration: declarative sweeps, parallel execution, and a
+persistent result store.
+
+The paper's evaluation is a large (workload × configuration × SRAM ×
+bandwidth) sweep; this package turns that from nested serial loops into
+infrastructure:
+
+* :class:`~repro.orchestrator.spec.SweepSpec` /
+  :class:`~repro.orchestrator.spec.SweepPoint` — declare a sweep as data;
+* :mod:`~repro.orchestrator.parallel` — fan points out over a process
+  pool with deterministic ordering and graceful serial fallback;
+* :class:`~repro.orchestrator.store.ResultStore` — JSON-lines on-disk
+  cache keyed by traffic key + schema version, so repeat runs replay
+  instead of re-simulating.
+
+Quickstart::
+
+    from repro.orchestrator import ResultStore, SweepSpec, run_sweep
+    from repro.baselines import runner
+
+    runner.set_store(ResultStore())          # persistent cache (optional)
+    spec = SweepSpec(workloads=("cg/*",), configs=("Flexagon", "CELLO"))
+    results = run_sweep(spec, jobs=4)
+"""
+
+from .parallel import default_jobs, prewarm, run_points, run_sweep
+from .spec import SweepPoint, SweepSpec
+from .store import SCHEMA_VERSION, ResultStore, default_cache_dir, result_key
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "SweepPoint",
+    "SweepSpec",
+    "default_cache_dir",
+    "default_jobs",
+    "prewarm",
+    "result_key",
+    "run_points",
+    "run_sweep",
+]

@@ -1,0 +1,98 @@
+"""Declarative sweep specifications.
+
+A sweep is the paper's evaluation shape — (workload × configuration ×
+SRAM size × bandwidth) — written down as data instead of nested loops
+scattered through experiment modules.  :class:`SweepSpec` enumerates
+deterministic, order-stable :class:`SweepPoint` lists that the parallel
+runner fans out across cores and the result store keys on disk.
+
+Workloads are referred to by canonical registry *name* (optionally
+fnmatch patterns like ``cg/*``), never by object: a name is picklable,
+hashable, and is re-resolved into a DAG builder inside each worker
+process (:func:`repro.workloads.registry.resolve_workload`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatch
+from typing import Optional, Tuple
+
+from ..baselines.configs import MAIN_CONFIGS
+from ..hw.config import AcceleratorConfig
+from ..orchestrator.store import result_key
+from ..workloads.registry import all_workloads
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation to run: a named workload under one configuration.
+
+    Bandwidth lives inside ``cfg`` but does not affect the traffic key —
+    points differing only in bandwidth share a simulation and are
+    re-timed (see :mod:`repro.baselines.runner`).
+    """
+
+    workload: str
+    config: str
+    cfg: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    cache_granularity: Optional[int] = None
+
+    def key(self) -> Tuple:
+        return result_key(self.config, self.workload, self.cfg,
+                          self.cache_granularity)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Cartesian sweep: workloads × configs × sram_bytes × bandwidths.
+
+    ``workloads`` entries may be exact registry names or fnmatch patterns
+    (``cg/*``, ``*shallow*``); patterns expand against
+    :func:`~repro.workloads.registry.all_workloads` in registry order.
+    Empty ``sram_bytes``/``bandwidths`` mean "whatever ``base_cfg`` has".
+    """
+
+    workloads: Tuple[str, ...]
+    configs: Tuple[str, ...] = MAIN_CONFIGS
+    base_cfg: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    sram_bytes: Tuple[int, ...] = ()
+    bandwidths: Tuple[float, ...] = ()
+    cache_granularity: Optional[int] = None
+
+    def expand_workloads(self) -> Tuple[str, ...]:
+        """Expand patterns to concrete names, preserving first-seen order.
+
+        A literal entry that matches no registry name is kept verbatim —
+        it may still be resolvable (e.g. ``cg/fv1/N=1@it3`` encodes a
+        non-default iteration count that the registry index omits).
+        """
+        known = list(all_workloads())
+        out: list[str] = []
+        for pattern in self.workloads:
+            matched = [n for n in known if fnmatch(n, pattern)]
+            for name in matched or [pattern]:
+                if name not in out:
+                    out.append(name)
+        return tuple(out)
+
+    def cfg_variants(self) -> Tuple[AcceleratorConfig, ...]:
+        srams = self.sram_bytes or (self.base_cfg.sram_bytes,)
+        bws = self.bandwidths or (self.base_cfg.dram_bandwidth_bytes_per_s,)
+        return tuple(
+            replace(self.base_cfg, sram_bytes=s, dram_bandwidth_bytes_per_s=b)
+            for s in srams
+            for b in bws
+        )
+
+    def points(self) -> Tuple[SweepPoint, ...]:
+        """Deterministic enumeration: workload-major, then config, then cfg."""
+        return tuple(
+            SweepPoint(w, c, cfg, self.cache_granularity)
+            for w in self.expand_workloads()
+            for c in self.configs
+            for cfg in self.cfg_variants()
+        )
+
+    def __len__(self) -> int:
+        return len(self.points())

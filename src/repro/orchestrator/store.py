@@ -1,0 +1,225 @@
+"""Persistent on-disk result store for simulation sweeps.
+
+Simulated DRAM traffic is expensive to produce and tiny to keep: one
+:class:`~repro.sim.results.SimResult` is a handful of integers.  The store
+keeps every result ever simulated as one JSON line under a cache
+directory (``~/.cache/repro`` by default, overridable via the
+``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``), keyed by the
+runner's traffic key plus a schema version.  Repeat invocations of
+``python -m repro`` then replay from disk instead of re-simulating.
+
+Records whose schema version differs from the reader's are ignored on
+load, so bumping :data:`SCHEMA_VERSION` invalidates stale caches without
+any migration machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..sim.results import SimResult
+
+#: Bump whenever simulator semantics change in a way that alters traffic
+#: for an unchanged key — every cached record of an older version is then
+#: treated as missing.
+SCHEMA_VERSION = 1
+
+#: File names inside the cache directory.
+RESULTS_FILE = "results.jsonl"
+STATS_FILE = "stats.json"
+
+
+def result_key(
+    config: str,
+    workload_name: str,
+    cfg: AcceleratorConfig,
+    cache_granularity: Optional[int],
+) -> Tuple:
+    """Canonical memoisation key for one simulated traffic point.
+
+    DRAM bandwidth is deliberately absent: traffic is bandwidth-independent
+    and results are re-timed per bandwidth point (see
+    :mod:`repro.baselines.runner`).
+    """
+    return (
+        config,
+        workload_name,
+        cfg.sram_bytes,
+        cfg.line_bytes,
+        cfg.cache_associativity,
+        cfg.chord_entries,
+        cfg.pipeline_fraction,
+        cfg.rf_bytes,
+        cache_granularity,
+    )
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultStore:
+    """Write-through JSON-lines store of :class:`SimResult` records.
+
+    The whole file is loaded into memory on open (records are tiny), gets
+    are served from the in-memory index, and puts append one line — so a
+    store survives crashes at any point with at most the in-flight record
+    lost.  ``hits``/``misses``/``simulations`` count this process's
+    activity; :meth:`save_stats` persists them for ``repro cache stat``.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 schema_version: int = SCHEMA_VERSION) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.path = self.directory / RESULTS_FILE
+        self.stats_path = self.directory / STATS_FILE
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.simulations = 0
+        self.stale = 0          # records skipped on load (schema mismatch)
+        self._index: Dict[str, SimResult] = {}
+        self._write_failed = False
+        self._load()
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def key_str(key: Tuple) -> str:
+        """Stable string form of a traffic-key tuple."""
+        return json.dumps(list(key), separators=(",", ":"))
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            fh = self.path.open("r", encoding="utf-8")
+        except OSError:
+            return  # missing or unreadable: behave as an empty store
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted writer
+                if record.get("v") != self.schema_version:
+                    self.stale += 1
+                    continue
+                ks = self.key_str(record["key"])
+                self._index[ks] = SimResult.from_dict(record["result"])
+
+    def get(self, key: Tuple) -> Optional[SimResult]:
+        result = self._index.get(self.key_str(key))
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: Tuple, result: SimResult) -> None:
+        ks = self.key_str(key)
+        if ks in self._index:
+            return
+        self._index[ks] = result
+        if self._write_failed:
+            return
+        record = {"v": self.schema_version, "key": json.loads(ks),
+                  "result": result.to_dict()}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except OSError as exc:
+            # The store is an optimisation: an unwritable cache location
+            # degrades to in-memory-only instead of aborting the run.
+            self._write_failed = True
+            print(f"repro: result store unwritable ({exc}); "
+                  "continuing without persistence", file=sys.stderr)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return self.key_str(key) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def clear(self) -> int:
+        """Delete the on-disk store; returns how many records were dropped."""
+        dropped = len(self._index) + self.stale
+        self._index.clear()
+        self.hits = self.misses = self.simulations = self.stale = 0
+        for p in (self.path, self.stats_path):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        return dropped
+
+    # -- stats -----------------------------------------------------------------
+
+    def save_stats(self) -> None:
+        """Persist this run's counters (read back by ``repro cache stat``)."""
+        previous = self.load_stats()
+        cumulative = previous.get("cumulative", {})
+        stats = {
+            "schema_version": self.schema_version,
+            "last_run": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "simulations": self.simulations,
+            },
+            "cumulative": {
+                "hits": cumulative.get("hits", 0) + self.hits,
+                "misses": cumulative.get("misses", 0) + self.misses,
+                "simulations": cumulative.get("simulations", 0) + self.simulations,
+            },
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.stats_path.write_text(json.dumps(stats, indent=2) + "\n",
+                                       encoding="utf-8")
+        except OSError:
+            pass  # same degradation as put(): stats are best-effort
+
+    def load_stats(self) -> Dict:
+        try:
+            return json.loads(self.stats_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def describe(self) -> str:
+        """Human-readable summary for ``repro cache stat``."""
+        size = self.path.stat().st_size if self.path.exists() else 0
+        lines = [
+            f"cache dir:      {self.directory}",
+            f"schema version: {self.schema_version}",
+            f"entries:        {len(self)}"
+            + (f" (+{self.stale} stale-schema records ignored)" if self.stale else ""),
+            f"store size:     {size} bytes",
+        ]
+        stats = self.load_stats()
+        last = stats.get("last_run")
+        if last is not None:
+            lines.append(
+                "last run:       "
+                f"{last.get('hits', 0)} hits, {last.get('misses', 0)} misses, "
+                f"{last.get('simulations', 0)} simulations"
+            )
+        total = stats.get("cumulative")
+        if total is not None:
+            lines.append(
+                "cumulative:     "
+                f"{total.get('hits', 0)} hits, {total.get('misses', 0)} misses, "
+                f"{total.get('simulations', 0)} simulations"
+            )
+        return "\n".join(lines)

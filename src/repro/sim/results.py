@@ -75,6 +75,43 @@ class SimResult:
             "effective_intensity": self.effective_intensity,
         }
 
+    # -- serialisation (orchestrator result store / worker transport) ----------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-safe encoding; inverse of :meth:`from_dict`.
+
+        Unlike :meth:`as_dict` (derived metrics for reports), this carries
+        exactly the constructor fields so a result can cross a process
+        boundary or live in the on-disk result store.
+        """
+        return {
+            "config": self.config,
+            "workload": self.workload,
+            "total_macs": self.total_macs,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "compute_s": self.compute_s,
+            "memory_s": self.memory_s,
+            "onchip_accesses": dict(self.onchip_accesses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimResult":
+        """Rebuild a result encoded by :meth:`to_dict`."""
+        return cls(
+            config=str(data["config"]),
+            workload=str(data["workload"]),
+            total_macs=int(data["total_macs"]),
+            dram_read_bytes=int(data["dram_read_bytes"]),
+            dram_write_bytes=int(data["dram_write_bytes"]),
+            compute_s=float(data["compute_s"]),
+            memory_s=float(data["memory_s"]),
+            onchip_accesses={
+                str(k): int(v)
+                for k, v in dict(data.get("onchip_accesses") or {}).items()
+            },
+        )
+
 
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's cross-workload aggregation)."""

@@ -7,6 +7,7 @@ with the paper's parameters (Table VII: 10 CG iterations, N ∈ {1, 16},
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Tuple
 
@@ -15,6 +16,7 @@ from .bicgstab import BiCgStabProblem, build_bicgstab_dag
 from .cg import CgProblem, build_cg_dag
 from .gnn import GnnProblem, build_gnn_dag, cora_problem, protein_problem
 from .matrices import (
+    DATASETS,
     FV1,
     G2_CIRCUIT,
     NASA4704,
@@ -117,3 +119,48 @@ def all_workloads() -> Dict[str, Workload]:
     ):
         out[w.name] = w
     return out
+
+
+_SOLVER_NAME = re.compile(r"(cg|bicgstab)/([^/]+)/N=(\d+)(?:@it(\d+))?\Z")
+
+
+def resolve_workload(name: str) -> Workload:
+    """Rebuild a workload from its canonical name.
+
+    The builders above encode every parameter in the name
+    (``cg/<matrix>/N=<n>[@it<k>]``, ``bicgstab/...``, ``gnn/<graph>``,
+    ``resnet/conv3_x``); this is the inverse.  It exists so a sweep point
+    can be shipped across a process boundary as a plain string — the
+    orchestrator's parallel workers rebuild the DAG from the name rather
+    than pickling a ``Workload`` (whose ``build`` closure is not
+    picklable).
+
+    Raises :class:`KeyError` for names not produced by the builders here
+    (hand-rolled workloads must be simulated in-process).
+    """
+    if name == "resnet/conv3_x":
+        return resnet_workload()
+    if name == "gnn/cora":
+        return gnn_workload(cora_problem())
+    if name == "gnn/protein":
+        return gnn_workload(protein_problem())
+    m = _SOLVER_NAME.match(name)
+    if m:
+        family, matrix_name, n, it = m.groups()
+        spec = DATASETS.get(matrix_name)
+        if spec is None:
+            raise KeyError(f"unknown dataset {matrix_name!r} in workload {name!r}")
+        iterations = int(it) if it else CG_ITERATIONS
+        if family == "cg":
+            return cg_workload(spec, int(n), iterations=iterations)
+        return bicgstab_workload(spec, int(n), iterations=iterations)
+    raise KeyError(f"cannot resolve workload name {name!r}")
+
+
+def is_resolvable(name: str) -> bool:
+    """True when :func:`resolve_workload` can rebuild ``name``."""
+    try:
+        resolve_workload(name)
+    except KeyError:
+        return False
+    return True

@@ -1,0 +1,266 @@
+"""Tests for the orchestrator: sweep specs, parallel execution, and the
+persistent result store."""
+
+import json
+
+import pytest
+
+from repro.baselines import runner
+from repro.hw.config import MIB, AcceleratorConfig
+from repro.orchestrator import (
+    ResultStore,
+    SweepPoint,
+    SweepSpec,
+    prewarm,
+    result_key,
+    run_points,
+    run_sweep,
+)
+from repro.orchestrator import store as store_mod
+from repro.sim.results import SimResult
+from repro.workloads.matrices import FV1
+from repro.workloads.registry import all_workloads, cg_workload, resolve_workload
+
+CFG = AcceleratorConfig()
+
+#: Tiny but real sweep: 2-iteration CG, two block widths, two configs.
+SPEC = SweepSpec(
+    workloads=("cg/fv1/N=1@it2", "cg/fv1/N=16@it2"),
+    configs=("Flexagon", "CELLO"),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    runner.clear_cache()
+    runner.reset_simulation_count()
+    runner.set_store(None)
+    yield
+    runner.clear_cache()
+    runner.set_store(None)
+
+
+def sample_result() -> SimResult:
+    return SimResult(
+        config="CELLO", workload="cg/fv1/N=1", total_macs=123456,
+        dram_read_bytes=1000, dram_write_bytes=200,
+        compute_s=1e-5, memory_s=2e-5,
+        onchip_accesses={"chord": 42, "rf": 7},
+    )
+
+
+class TestSimResultRoundTrip:
+    def test_to_from_dict_identity(self):
+        r = sample_result()
+        assert SimResult.from_dict(r.to_dict()) == r
+
+    def test_survives_json(self):
+        r = sample_result()
+        assert SimResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+
+    def test_missing_onchip_defaults_empty(self):
+        d = sample_result().to_dict()
+        del d["onchip_accesses"]
+        assert SimResult.from_dict(d).onchip_accesses == {}
+
+
+class TestResolveWorkload:
+    def test_round_trips_every_registered_name(self):
+        for name in all_workloads():
+            assert resolve_workload(name).name == name
+
+    def test_iteration_suffix(self):
+        w = resolve_workload("cg/fv1/N=4@it3")
+        assert w.name == "cg/fv1/N=4@it3"
+        assert w.family == "cg"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_workload("madeup/thing")
+        with pytest.raises(KeyError):
+            resolve_workload("cg/not_a_matrix/N=1")
+
+
+class TestSweepSpec:
+    def test_pattern_expansion(self):
+        spec = SweepSpec(workloads=("gnn/*",), configs=("CELLO",))
+        assert [p.workload for p in spec.points()] == ["gnn/cora", "gnn/protein"]
+
+    def test_literal_unmatched_name_kept(self):
+        spec = SweepSpec(workloads=("cg/fv1/N=1@it2",), configs=("CELLO",))
+        assert [p.workload for p in spec.points()] == ["cg/fv1/N=1@it2"]
+
+    def test_cfg_variants_cross_product(self):
+        spec = SweepSpec(
+            workloads=("gnn/cora",), configs=("CELLO",),
+            sram_bytes=(1 * MIB, 4 * MIB), bandwidths=(250e9, 1000e9),
+        )
+        assert len(spec.points()) == 4
+        srams = {p.cfg.sram_bytes for p in spec.points()}
+        assert srams == {1 * MIB, 4 * MIB}
+
+    def test_bandwidth_variants_share_traffic_key(self):
+        spec = SweepSpec(
+            workloads=("gnn/cora",), configs=("CELLO",),
+            bandwidths=(250e9, 1000e9),
+        )
+        keys = {p.key() for p in spec.points()}
+        assert len(spec.points()) == 2 and len(keys) == 1
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(SPEC, jobs=1)
+        runner.clear_cache()
+        parallel = run_sweep(SPEC, jobs=2)
+        assert serial == parallel
+
+    def test_prewarm_counts_and_caches(self):
+        n = prewarm(SPEC.points(), jobs=2)
+        assert n == len(SPEC.points())
+        assert runner.simulation_count() == n
+        # Everything is cached now: replay simulates nothing.
+        run_sweep(SPEC, jobs=1)
+        assert runner.simulation_count() == n
+
+    def test_prewarm_skips_unresolvable(self):
+        bogus = SweepPoint("not/registered", "CELLO", CFG)
+        assert prewarm([bogus], jobs=2) == 0
+
+    def test_run_points_rejects_unresolvable(self):
+        with pytest.raises(KeyError):
+            run_points([SweepPoint("not/registered", "CELLO", CFG)], jobs=1)
+
+    def test_run_matrix_parallel_matches_serial(self):
+        w = cg_workload(FV1, n=1, iterations=2)
+        serial = runner.run_matrix([w], configs=("Flexagon", "CELLO"), jobs=1)
+        runner.clear_cache()
+        parallel = runner.run_matrix([w], configs=("Flexagon", "CELLO"), jobs=2)
+        assert serial == parallel
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("CELLO", "cg/fv1/N=1", CFG, None)
+        r = sample_result()
+        store.put(key, r)
+        assert store.get(key) == r
+        assert store.hits == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        key = result_key("CELLO", "cg/fv1/N=1", CFG, None)
+        ResultStore(tmp_path).put(key, sample_result())
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(key) == sample_result()
+
+    def test_miss_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(result_key("CELLO", "none", CFG, None)) is None
+        assert store.misses == 1
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        key = result_key("CELLO", "cg/fv1/N=1", CFG, None)
+        ResultStore(tmp_path, schema_version=1).put(key, sample_result())
+        bumped = ResultStore(tmp_path, schema_version=2)
+        assert len(bumped) == 0
+        assert bumped.stale == 1
+        assert bumped.get(key) is None
+
+    def test_clear_removes_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result_key("CELLO", "cg/fv1/N=1", CFG, None), sample_result())
+        store.save_stats()
+        assert store.clear() == 1
+        assert not store.path.exists() and not store.stats_path.exists()
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result_key("CELLO", "cg/fv1/N=1", CFG, None), sample_result())
+        with store.path.open("a") as fh:
+            fh.write('{"v": 1, "key": [truncated')
+        assert len(ResultStore(tmp_path)) == 1
+
+    def test_warm_store_means_zero_simulations(self, tmp_path):
+        runner.set_store(ResultStore(tmp_path))
+        run_sweep(SPEC, jobs=2)
+        first = runner.simulation_count()
+        assert first == len(SPEC.points())
+        # Fresh process-local state, same disk: everything replays.
+        runner.clear_cache()
+        runner.reset_simulation_count()
+        runner.set_store(ResultStore(tmp_path))
+        run_sweep(SPEC, jobs=2)
+        assert runner.simulation_count() == 0
+        assert runner.get_store().misses == 0
+
+    def test_unwritable_location_degrades_to_memory(self, tmp_path, capsys):
+        blocked = tmp_path / "file"
+        blocked.write_text("not a directory")
+        store = ResultStore(blocked / "nested")
+        key = result_key("CELLO", "cg/fv1/N=1", CFG, None)
+        store.put(key, sample_result())          # must not raise
+        store.save_stats()                       # must not raise
+        assert store.get(key) == sample_result()  # in-memory tier still works
+        assert "unwritable" in capsys.readouterr().err
+
+    def test_stats_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.hits, store.misses, store.simulations = 3, 2, 2
+        store.save_stats()
+        stats = ResultStore(tmp_path).load_stats()
+        assert stats["last_run"] == {"hits": 3, "misses": 2, "simulations": 2}
+        described = ResultStore(tmp_path).describe()
+        assert "3 hits" in described
+
+
+class TestCliIntegration:
+    def test_sweep_and_cache_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "cache")
+        argv = ["sweep", "--workloads", "cg/fv1/N=1@it2",
+                "--configs", "Flexagon,CELLO", "--jobs", "2",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "CELLO" in out and "Sweep: 2 points" in out
+
+        assert main(["cache", "stat", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries:        2" in out
+        assert "2 misses" in out and "2 simulations" in out
+
+        # Second, warm run: zero misses / zero simulations.
+        runner.clear_cache()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stat", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out and "0 simulations" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+
+    def test_experiment_honours_no_cache(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+        assert main(["fig2", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "unused").exists()
+
+    def test_unknown_sweep_config_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--configs", "NotAConfig"]) == 2
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_unknown_sweep_workload_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--workloads", "totally/bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "gnn/cora" in err
