@@ -1,0 +1,75 @@
+"""Benchmarks of the vectorized simulation hot paths.
+
+Wraps :mod:`repro.analysis.kernel_bench` (the harness behind ``repro
+bench``) under pytest-benchmark, pins the PR's acceptance bar — the
+vectorized cache backend must beat the scalar reference by >= 10x
+accesses/sec on a streaming trace with byte-identical stats — and writes
+``benchmarks/out/BENCH_kernels.json`` so the numbers survive as
+artifacts next to the regenerated figures.
+"""
+
+import json
+
+from conftest import OUT_DIR
+
+from repro.analysis.kernel_bench import (
+    bench_cache_backends,
+    bench_chord_events,
+    run_kernel_bench,
+    streaming_segments,
+)
+from repro.buffers.cache import SetAssociativeCache
+from repro.buffers.lru import LruPolicy
+
+
+def test_vector_backend_10x_and_parity():
+    """The acceptance bar: >= 10x accesses/sec over the scalar reference on
+    a streaming trace (parity is asserted inside the harness), with the
+    whole report recorded in BENCH_kernels.json."""
+    report = run_kernel_bench(quick=True)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_kernels.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    for name in ("cache_lru", "cache_brrip", "cache_srrip"):
+        assert report["results"][name]["speedup"] >= 10.0, (
+            f"{name}: {report['results'][name]['speedup']:.1f}x < 10x"
+        )
+
+
+def test_vector_cache_throughput(benchmark):
+    """Raw batched-kernel rate on a streaming trace (regression guard)."""
+    segments = streaming_segments(total_bytes=8_000_000)
+
+    def run():
+        cache = SetAssociativeCache(1 << 21, 16, 8, LruPolicy(), backend="vector")
+        cache.access_segments(segments)
+        return cache.stats.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_reference_cache_throughput(benchmark):
+    """Scalar-loop rate on the same trace (the denominator of the 10x)."""
+    segments = streaming_segments(total_bytes=800_000)
+
+    def run():
+        cache = SetAssociativeCache(1 << 18, 16, 8, LruPolicy(),
+                                    backend="reference")
+        cache.access_segments(segments)
+        return cache.stats.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_chord_event_rate(benchmark):
+    """O(1)-per-event CHORD accounting under RIFF pressure."""
+    result = benchmark(bench_chord_events, n_tensors=64, rounds=20)
+    assert result["events_per_s"] > 0
+
+
+def test_cache_backend_speedup_benchmark(benchmark):
+    """One-shot speedup measurement kept in the pytest-benchmark record."""
+    result = benchmark.pedantic(
+        bench_cache_backends, args=("lru", 100_000), rounds=1, iterations=1
+    )
+    assert result["speedup"] >= 10.0

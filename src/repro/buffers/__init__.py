@@ -4,7 +4,12 @@ credit-based buffet, Tailors-style overbooking buffer, pipeline buffer
 with hold slots, and register file."""
 
 from .base import AccessType, BufferStats
-from .cache import ReplacementPolicy, SetAssociativeCache
+from .cache import (
+    ReplacementPolicy,
+    SetAssociativeCache,
+    VectorReplacementPolicy,
+    supports_vector,
+)
 from .lru import LruPolicy
 from .brrip import BrripPolicy
 from .srrip import SrripPolicy
@@ -19,6 +24,8 @@ __all__ = [
     "BufferStats",
     "ReplacementPolicy",
     "SetAssociativeCache",
+    "VectorReplacementPolicy",
+    "supports_vector",
     "LruPolicy",
     "BrripPolicy",
     "SrripPolicy",

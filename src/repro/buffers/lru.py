@@ -5,17 +5,38 @@ leftmost column): every hit promotes a line to most-recently-used, every
 fill victimises the least-recently-used way.  For tensor streaming this
 keeps the *tail* of a scanned tensor — exactly the part re-referenced last —
 which is the pathology PRELUDE inverts.
+
+Two equivalent implementations live here:
+
+* the scalar per-set recency stack (``make_set_state``/``on_hit``/...),
+  kept as the *reference* backend for parity testing, and
+* an array-state form (``make_vector_state``/``vec_*``) where recency is a
+  per-(set, way) timestamp matrix, so whole batches of accesses update in
+  a handful of numpy ops (the cache's vectorized kernel).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
+
+import numpy as np
+
+
+@dataclass
+class _LruMatrix:
+    """Array state: ``last_use[s, w]`` is the timestamp of way ``w``'s most
+    recent touch.  The LRU way of a set is simply the row argmin."""
+
+    last_use: np.ndarray        # (n_sets, assoc) int64
 
 
 class LruPolicy:
-    """Per-set LRU recency stack over way indices."""
+    """Per-set LRU recency over way indices (scalar stack + array form)."""
 
     name = "lru"
+
+    # -- scalar reference backend ------------------------------------------------
 
     def make_set_state(self, assoc: int) -> List[int]:
         # Recency stack: index 0 = LRU, last = MRU.  Starts in way order so
@@ -32,3 +53,26 @@ class LruPolicy:
     def on_fill(self, state: List[int], way: int) -> None:
         state.remove(way)
         state.append(way)
+
+    # -- vectorized backend --------------------------------------------------------
+
+    def make_vector_state(self, n_sets: int, assoc: int) -> _LruMatrix:
+        # Seed timestamps below any real access time (times start at 0) in
+        # way order, so cold victims walk ways 0, 1, ... exactly like the
+        # scalar stack's initial ordering.
+        init = np.broadcast_to(
+            np.arange(assoc, dtype=np.int64) - assoc, (n_sets, assoc)
+        ).copy()
+        return _LruMatrix(last_use=init)
+
+    def vec_on_hit(self, state: _LruMatrix, rows: np.ndarray,
+                   ways: np.ndarray, times: np.ndarray) -> None:
+        state.last_use[rows, ways] = times
+
+    def vec_choose_victims(self, state: _LruMatrix, rows: np.ndarray) -> np.ndarray:
+        """LRU way per set row; ``rows`` must be unique within the batch."""
+        return np.argmin(state.last_use[rows], axis=1)
+
+    def vec_on_fill(self, state: _LruMatrix, rows: np.ndarray,
+                    ways: np.ndarray, times: np.ndarray) -> None:
+        state.last_use[rows, ways] = times

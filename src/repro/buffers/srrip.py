@@ -9,7 +9,9 @@ and makes the policy-sweep bench a three-way comparison.
 
 from __future__ import annotations
 
-from .brrip import BrripPolicy, _BrripSet
+import numpy as np
+
+from .brrip import BrripPolicy, _BrripSet, _RrpvMatrix
 
 
 class SrripPolicy(BrripPolicy):
@@ -22,3 +24,7 @@ class SrripPolicy(BrripPolicy):
 
     def on_fill(self, state: _BrripSet, way: int) -> None:
         state.rrpv[way] = self.max_rrpv - 1
+
+    def vec_on_fill(self, state: _RrpvMatrix, rows: np.ndarray,
+                    ways: np.ndarray, times: np.ndarray) -> None:
+        state.rrpv[rows, ways] = self.max_rrpv - 1

@@ -53,10 +53,23 @@ class ChordBuffer:
     base_addrs:
         Optional global base address per tensor (cosmetic — drives the
         index-table address fields; a bump allocator is used otherwise).
+    record_history:
+        Opt-in occupancy recorder: append ``(op_index, used_bytes)``
+        samples after events, decimating 2:1 whenever ``history_limit``
+        samples accumulate so memory stays bounded on million-event runs.
+        Off by default — only the timeline renderer consumes it, and the
+        engine opts in on the renderer's behalf.
+    history_limit:
+        Maximum retained samples when recording.
 
     Stats convention: ``hits``/``misses``/``accesses`` count **bytes** (the
     natural unit of slice-granularity events); ``dram_*_bytes`` are bytes as
     everywhere else.
+
+    Occupancy is O(1) per event: ``used_bytes`` is an incrementally
+    maintained counter (every resident-prefix change adjusts it), not a
+    per-event sum over residents; :meth:`audit_used_bytes` recomputes the
+    slow sum for invariant checks.
     """
 
     def __init__(
@@ -66,9 +79,13 @@ class ChordBuffer:
         use_riff: bool = True,
         table: Optional[RiffIndexTable] = None,
         base_addrs: Optional[Mapping[str, int]] = None,
+        record_history: bool = False,
+        history_limit: int = 8192,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
+        if history_limit <= 1:
+            raise ValueError("history_limit must be > 1")
         self.capacity_bytes = capacity_bytes
         self.hints = hints
         self.riff: Optional[RiffPolicy] = RiffPolicy(hints) if use_riff else None
@@ -77,12 +94,17 @@ class ChordBuffer:
         self._resident: Dict[str, _Resident] = {}
         self._base_addrs = dict(base_addrs or {})
         self._bump = 0
+        self._used_bytes = 0
         #: Per-tensor traffic attribution (bytes): hit / miss / spill /
         #: writeback — feeds the engine's audit report.
         self.per_tensor: Dict[str, Dict[str, int]] = {}
-        #: Occupancy history: (op_index, used_bytes) after every event —
-        #: feeds the timeline renderer.
+        #: Occupancy history: (op_index, used_bytes) samples — feeds the
+        #: timeline renderer.  Empty unless ``record_history`` is set.
         self.history: list = []
+        self._record_history = record_history
+        self._history_limit = history_limit
+        self._history_stride = 1
+        self._event_count = 0
 
     def _account(self, tensor: str, field_name: str, nbytes: int) -> None:
         if nbytes <= 0:
@@ -92,10 +114,27 @@ class ChordBuffer:
         )
         rec[field_name] += nbytes
 
+    def _record(self, op_index: int) -> None:
+        """Append an occupancy sample (decimating 2:1 at the size limit)."""
+        if not self._record_history:
+            return
+        self._event_count += 1
+        if self._event_count % self._history_stride:
+            return
+        self.history.append((op_index, self._used_bytes))
+        if len(self.history) >= self._history_limit:
+            # Keep every other sample; future events sample half as often.
+            del self.history[::2]
+            self._history_stride *= 2
+
     # -- occupancy ---------------------------------------------------------------
 
     @property
     def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def audit_used_bytes(self) -> int:
+        """O(tensors) recomputation of occupancy (invariant checking only)."""
         return sum(r.resident_end for r in self._resident.values())
 
     @property
@@ -139,6 +178,7 @@ class ChordBuffer:
     def _untrack(self, tensor: str) -> None:
         r = self._resident.pop(tensor, None)
         if r is not None:
+            self._used_bytes -= r.resident_end
             self.table.release(tensor)
 
     def _evict_tail(self, victim: str, nbytes: int) -> int:
@@ -159,6 +199,7 @@ class ChordBuffer:
         r.resident_end = new_end
         r.dirty_end = min(r.dirty_end, new_end)
         r.entry.end_chord = r.entry.start_tensor + new_end
+        self._used_bytes -= take
         self.stats.evictions += take
         if r.resident_end == 0:
             self._untrack(victim)
@@ -186,6 +227,7 @@ class ChordBuffer:
             remaining -= freed
         if inserted:
             r.resident_end += inserted
+            self._used_bytes += inserted
             if dirty:
                 r.dirty_end = r.resident_end
             r.entry.end_chord = r.entry.start_tensor + r.resident_end
@@ -219,7 +261,7 @@ class ChordBuffer:
             self._account(tensor, "spill", spilled)
         if self.is_tracked(tensor):
             self._resident[tensor].entry.record_access(hit=spilled == 0)
-        self.history.append((op_index, self.used_bytes))
+        self._record(op_index)
         return inserted
 
     def read(self, tensor: str, op_index: int, nbytes: Optional[int] = None,
@@ -248,7 +290,7 @@ class ChordBuffer:
                 self._insert(tensor, miss, op_index, dirty=False)
         if self.is_tracked(tensor):
             self._resident[tensor].entry.record_access(hit=miss == 0)
-        self.history.append((op_index, self.used_bytes))
+        self._record(op_index)
         return hit
 
     # -- explicit lifetime management (the hybrid's explicit half) --------------------

@@ -10,6 +10,7 @@ Usage::
     python -m repro sweep --workloads 'cg/*' --configs Flexagon,CELLO
     python -m repro cache stat           # persistent-cache hit counters
     python -m repro cache clear
+    python -m repro bench --quick        # hot-path kernels -> BENCH_kernels.json
 
 Experiment and sweep runs read/write an on-disk result store
 (``~/.cache/repro`` by default; override with ``--cache-dir`` or the
@@ -95,6 +96,7 @@ def list_experiments() -> str:
     lines.append("Other commands:")
     lines.append("  sweep    run a custom (workload x config x sram x bw) sweep")
     lines.append("  cache    persistent result cache: stat | clear")
+    lines.append("  bench    time simulator hot paths, write BENCH_kernels.json")
     return "\n".join(lines)
 
 
@@ -236,6 +238,32 @@ def _sweep_main(argv: List[str]) -> int:
     return 0
 
 
+def _bench_main(argv: List[str]) -> int:
+    from .analysis.kernel_bench import (
+        DEFAULT_OUT, render_bench, run_kernel_bench, write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the simulation hot paths (cache kernels, "
+                    "CHORD events, engines) and record the results.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="~10x smaller workloads (CI smoke runs)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=DEFAULT_OUT,
+        help=f"output JSON path (default ./{DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_kernel_bench(quick=args.quick)
+    print(render_bench(report))
+    path = write_bench_json(report, args.out)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def _cache_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro cache",
@@ -262,6 +290,8 @@ def main(argv: list | None = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,7 +300,7 @@ def main(argv: list | None = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (e.g. fig12 table2), 'all', or 'list'; "
-             "see also the 'sweep' and 'cache' subcommands",
+             "see also the 'sweep', 'cache' and 'bench' subcommands",
     )
     _add_cache_args(parser)
     args = parser.parse_args(argv)

@@ -27,7 +27,9 @@ from ..sim.results import SimResult
 #: Bump whenever simulator semantics change in a way that alters traffic
 #: for an unchanged key — every cached record of an older version is then
 #: treated as missing.
-SCHEMA_VERSION = 1
+#: v2: auto_granularity target raised 2M -> 20M (vectorized cache kernel),
+#: so cache-baseline traffic at default granularity is finer-grained.
+SCHEMA_VERSION = 2
 
 #: File names inside the cache directory.
 RESULTS_FILE = "results.jsonl"

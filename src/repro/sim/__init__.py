@@ -13,8 +13,10 @@ from .energy import EnergyBreakdown, energy_of, offchip_energy_j, onchip_energy_
 from .trace import (
     StreamSegment,
     auto_granularity,
+    iter_program_trace,
     op_trace,
     program_trace,
+    program_trace_bytes,
     trace_bytes,
 )
 from .engine import CacheEngine, EngineOptions, ScheduleEngine
@@ -43,8 +45,10 @@ __all__ = [
     "onchip_energy_j",
     "StreamSegment",
     "auto_granularity",
+    "iter_program_trace",
     "op_trace",
     "program_trace",
+    "program_trace_bytes",
     "trace_bytes",
     "CacheEngine",
     "EngineOptions",

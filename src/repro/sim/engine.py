@@ -24,7 +24,7 @@ from .address_map import AddressMap
 from .dram import DramChannel
 from .perf import make_result
 from .results import SimResult
-from .trace import auto_granularity, program_trace, trace_bytes
+from .trace import auto_granularity, iter_program_trace, program_trace_bytes
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,10 @@ class EngineOptions:
     explicit_retire: bool = True    # free dead tensors at last use
     charge_swizzle: bool = True     # charge a DRAM round trip per swizzle
     chord_entries: Optional[int] = None  # override index-table capacity
+    #: Record the CHORD occupancy timeline (bounded; feeds the timeline
+    #: renderer).  The recorder is opt-in at the buffer level — the engine
+    #: opts in by default because post-mortem observability is its job.
+    record_history: bool = True
 
 
 class ScheduleEngine:
@@ -62,18 +66,33 @@ class ScheduleEngine:
             use_riff=self.options.use_riff,
             table=RiffIndexTable(entries, cfg.chord_entry_bits),
             base_addrs=amap.base_addrs(),
+            record_history=self.options.record_history,
         )
         dram = DramChannel()
         rf_bytes_touched = 0
         pipe_bytes_touched = 0
         touched: Set[str] = set()
 
+        # Per-tensor lookups are loop-invariant: placement, size, cold-input
+        # status and last use never change mid-program, so resolve them once
+        # instead of per (op, operand) event in the inner loops.
+        placement_of: Dict[str, object] = {}
+        nbytes_of: Dict[str, int] = {}
+        is_cold_input: Dict[str, bool] = {}
+        last_use_of: Dict[str, Optional[int]] = {}
+        for t in dag.tensors:
+            name = t.name
+            placement_of[name] = schedule.placement(name)
+            nbytes_of[name] = t.bytes
+            is_cold_input[name] = dag.producer_of(name) is None
+            last_use_of[name] = hints.get(name).last_use()
+
         for i, op in enumerate(dag.ops):
             for t in op.inputs:
                 name = t.name
-                placement = schedule.placement(name)
+                placement = placement_of[name]
                 route = placement.route_for(op.name)
-                nbytes = dag.tensor(name).bytes
+                nbytes = nbytes_of[name]
                 if (
                     self.options.charge_swizzle
                     and op.name in placement.swizzled_consumers
@@ -84,7 +103,7 @@ class ScheduleEngine:
                     dram.read(nbytes, reason="swizzle")
                     dram.write(nbytes, reason="swizzle")
                 if route is Route.REGISTER_FILE:
-                    if dag.producer_of(name) is None and name not in touched:
+                    if is_cold_input[name] and name not in touched:
                         dram.read(nbytes, reason="cold-input")
                     rf_bytes_touched += nbytes
                 elif route in (Route.PIPELINE, Route.HOLD):
@@ -95,34 +114,32 @@ class ScheduleEngine:
                     dram.read(nbytes, reason="direct")
                 touched.add(name)
 
-            out = op.output
-            placement = schedule.placement(out.name)
-            wr = placement.write_route
-            nbytes = dag.tensor(out.name).bytes
+            out_name = op.output.name
+            wr = placement_of[out_name].write_route
+            nbytes = nbytes_of[out_name]
             if wr is Route.REGISTER_FILE:
                 rf_bytes_touched += nbytes
             elif wr is Route.PIPELINE:
                 pipe_bytes_touched += nbytes
             elif wr is Route.CHORD:
-                chord.write(out.name, i)
+                chord.write(out_name, i)
             elif wr is Route.DRAM:
                 dram.write(nbytes, reason="direct")
-            touched.add(out.name)
+            touched.add(out_name)
 
             if self.options.explicit_retire:
                 for t in op.inputs:
-                    h = hints.get(t.name)
-                    if h.last_use() == i:
+                    if last_use_of[t.name] == i:
                         chord.retire(t.name)
 
         chord.finalize()
         # Program outputs that never routed through CHORD (small RF-resident
         # results like a GNN's logits) still drain to DRAM exactly once.
         for name in dag.program_outputs():
-            if schedule.placement(name).write_route in (
+            if placement_of[name].write_route in (
                 Route.REGISTER_FILE, Route.PIPELINE
             ):
-                dram.write(dag.tensor(name).bytes, reason="output-drain")
+                dram.write(nbytes_of[name], reason="output-drain")
         dram.merge_stats(
             chord.stats.dram_read_bytes, chord.stats.dram_write_bytes, "chord"
         )
@@ -147,7 +164,15 @@ class ScheduleEngine:
 
 class CacheEngine:
     """Replays the best-intra-op trace through an implicit cache
-    (the Flex+LRU / Flex+BRRIP baselines)."""
+    (the Flex+LRU / Flex+BRRIP baselines).
+
+    The trace is generated lazily (one op's segments at a time) and pushed
+    through :meth:`SetAssociativeCache.access_segments`, which expands and
+    resolves it as batched array kernels — multi-GB streams simulate in
+    bounded memory at tens of millions of accesses per second.  ``backend``
+    selects the cache implementation (``"reference"`` replays the scalar
+    per-access loop, for parity tests and benchmarking).
+    """
 
     def __init__(
         self,
@@ -155,22 +180,19 @@ class CacheEngine:
         policy: ReplacementPolicy,
         granularity: Optional[int] = None,
         interleave_chunk: int = 4096,
+        backend: str = "auto",
     ) -> None:
         self.cfg = cfg
         self.policy = policy
         self.granularity = granularity
         self.interleave_chunk = interleave_chunk
+        self.backend = backend
 
     def run(self, dag: TensorDag, config_name: str = "cache",
             workload_name: str = "workload") -> SimResult:
         cfg = self.cfg
         amap = AddressMap.for_dag(dag, line_bytes=cfg.line_bytes)
-        segments = program_trace(
-            dag, amap,
-            interleave_chunk=self.interleave_chunk,
-            rf_bytes=cfg.rf_bytes,
-        )
-        total = trace_bytes(segments)
+        total = program_trace_bytes(dag)
         g = self.granularity or auto_granularity(total, cfg.line_bytes)
         block_bytes = cfg.line_bytes * g
         cache = SetAssociativeCache(
@@ -178,9 +200,15 @@ class CacheEngine:
             line_bytes=block_bytes,
             associativity=cfg.cache_associativity,
             policy=self.policy,
+            backend=self.backend,
         )
-        for seg in segments:
-            cache.access_range(seg.start, seg.nbytes, seg.is_write)
+        cache.access_segments(
+            iter_program_trace(
+                dag, amap,
+                interleave_chunk=self.interleave_chunk,
+                rf_bytes=cfg.rf_bytes,
+            )
+        )
         cache.flush()
         total_macs = sum(op.macs for op in dag.ops)
         return make_result(

@@ -15,7 +15,7 @@ woven together (real engines fetch tiles round-robin).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from ..core.dag import TensorDag
 from ..core.einsum import EinsumOp
@@ -94,30 +94,68 @@ def op_trace(
     return segments
 
 
+def iter_program_trace(
+    dag: TensorDag,
+    amap: AddressMap,
+    interleave_chunk: int = 4096,
+    rf_bytes: int = 32 * 1024,
+) -> Iterator[StreamSegment]:
+    """Whole-program trace as a generator: ops in program order.
+
+    Only one op's segments are materialized at a time, so multi-GB traces
+    stream through :meth:`SetAssociativeCache.access_segments` in bounded
+    memory instead of being built as one giant list.  ``program_trace`` is
+    the eager form (small traces, tests).
+    """
+    for op in dag.ops:
+        yield from op_trace(
+            op, dag, amap, interleave_chunk=interleave_chunk, rf_bytes=rf_bytes
+        )
+
+
 def program_trace(
     dag: TensorDag,
     amap: AddressMap,
     interleave_chunk: int = 4096,
     rf_bytes: int = 32 * 1024,
 ) -> List[StreamSegment]:
-    """Whole-program trace: ops in program order."""
-    segments: List[StreamSegment] = []
-    for op in dag.ops:
-        segments.extend(
-            op_trace(op, dag, amap, interleave_chunk=interleave_chunk, rf_bytes=rf_bytes)
+    """Whole-program trace: ops in program order (eager list form)."""
+    return list(
+        iter_program_trace(
+            dag, amap, interleave_chunk=interleave_chunk, rf_bytes=rf_bytes
         )
-    return segments
+    )
 
 
-def trace_bytes(segments: Sequence[StreamSegment]) -> int:
+def trace_bytes(segments: Iterable[StreamSegment]) -> int:
     """Total bytes touched by a trace (sanity metric)."""
     return sum(s.nbytes for s in segments)
+
+
+def program_trace_bytes(dag: TensorDag) -> int:
+    """Total bytes a program trace will touch, without materializing it.
+
+    Every op streams each input once and its output once, so the total is
+    pure operand arithmetic — this is what sizes ``auto_granularity`` for
+    the streaming path (equality with ``trace_bytes(program_trace(...))``
+    is pinned in tests).
+    """
+    return sum(
+        sum(t.bytes for t in op.inputs) + op.output.bytes for op in dag.ops
+    )
+
+
+#: Default access budget for ``auto_granularity``.  Sized for the
+#: vectorized cache backend (tens of millions of accesses per second);
+#: the pre-vectorization scalar loop forced this down to 2M, coarsening
+#: multi-GB traces 10x more than necessary.
+DEFAULT_TARGET_ACCESSES = 20_000_000
 
 
 def auto_granularity(
     total_bytes: int,
     line_bytes: int,
-    target_accesses: int = 2_000_000,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
 ) -> int:
     """Coarsening factor g so a trace simulates in ~``target_accesses``.
 

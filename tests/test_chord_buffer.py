@@ -201,3 +201,72 @@ class TestInvariants:
         c = ChordBuffer(1000, h)
         c.write("T", 0)
         assert "T" in c.describe()
+
+
+class TestUsedBytesCounter:
+    """``used_bytes`` is an O(1) incrementally-maintained counter; it must
+    equal the O(tensors) recomputation after every event kind (fill, RIFF
+    steal, refetch, retire, finalize)."""
+
+    def _mixed_hints(self, n=12):
+        return hints(**{
+            f"T{i}": (200 + 97 * i, i, [i + 2, i + n + 3], i % 5 == 0)
+            for i in range(n)
+        })
+
+    def test_counter_matches_slow_sum_through_event_storm(self):
+        h = self._mixed_hints()
+        c = ChordBuffer(2500, h)
+        assert __debug__  # the tier-1 suite runs with assertions enabled
+        for i in range(12):
+            c.write(f"T{i}", i)
+            assert c.used_bytes == c.audit_used_bytes()
+        for i in range(12):
+            c.read(f"T{i}", i + 2)
+            assert c.used_bytes == c.audit_used_bytes()
+        for i in range(0, 12, 3):
+            c.retire(f"T{i}")
+            assert c.used_bytes == c.audit_used_bytes()
+        c.finalize()
+        assert c.used_bytes == c.audit_used_bytes() == 0
+
+    def test_counter_matches_after_partial_reads(self):
+        h = hints(T=(1000, 0, [2, 4], False), U=(900, 1, [3], False))
+        c = ChordBuffer(1200, h)
+        c.write("T", 0)
+        c.write("U", 1)          # RIFF steals T's tail
+        c.read("T", 2, nbytes=700)
+        c.read("U", 3)
+        assert c.used_bytes == c.audit_used_bytes()
+        assert 0 < c.used_bytes <= 1200
+
+
+class TestHistoryRecorder:
+    def test_history_off_by_default(self):
+        h = hints(T=(500, 0, [1], False))
+        c = ChordBuffer(1000, h)
+        c.write("T", 0)
+        c.read("T", 1)
+        assert c.history == []
+
+    def test_opt_in_records_samples(self):
+        h = hints(T=(500, 0, [1, 2], False))
+        c = ChordBuffer(1000, h, record_history=True)
+        c.write("T", 0)
+        c.read("T", 1)
+        assert c.history == [(0, 500), (1, 500)]
+
+    def test_history_stays_bounded(self):
+        h = hints(T=(10, 0, list(range(1, 5000)), False))
+        c = ChordBuffer(1000, h, record_history=True, history_limit=64)
+        c.write("T", 0)
+        for i in range(1, 4000):
+            c.read("T", i)
+        assert len(c.history) < 64
+        # Decimation keeps coverage of the whole run, not just a prefix.
+        assert c.history[-1][0] > 3000
+
+    def test_invalid_history_limit(self):
+        h = hints(T=(10, 0, [1], False))
+        with pytest.raises(ValueError):
+            ChordBuffer(100, h, record_history=True, history_limit=1)

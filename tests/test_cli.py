@@ -13,6 +13,35 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig12" in out and "table2" in out
+        assert "bench" in out
+
+    def test_bench_writes_json(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.analysis import kernel_bench
+
+        # Shrink the harness so the CLI test stays fast; the real bars run
+        # in benchmarks/bench_perf_kernels.py and the CI bench-smoke job.
+        def tiny_bench(quick=False):
+            return {
+                "schema": kernel_bench.BENCH_SCHEMA,
+                "quick": True,
+                "results": {
+                    "cache_lru": kernel_bench.bench_cache_backends("lru", 20_000),
+                    "chord_events": kernel_bench.bench_chord_events(8, 3),
+                    "schedule_engine": kernel_bench.bench_schedule_engine(2),
+                    "cache_engine_g1": kernel_bench.bench_cache_engine(1),
+                },
+            }
+
+        monkeypatch.setattr(kernel_bench, "run_kernel_bench", tiny_bench)
+        out_path = tmp_path / "BENCH_kernels.json"
+        assert main(["bench", "--quick", "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        lru = report["results"]["cache_lru"]
+        assert lru["speedup"] > 1.0
+        assert lru["vector_accesses_per_s"] > lru["reference_accesses_per_s"]
+        assert "Cache kernel backends" in capsys.readouterr().out
 
     def test_default_is_list(self, capsys):
         assert main([]) == 0
