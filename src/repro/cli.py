@@ -4,8 +4,10 @@ sweeps, and manage the persistent result cache.
 Usage::
 
     python -m repro list                 # show available experiments
+    python -m repro list-workloads       # show every registered workload
     python -m repro fig12                # regenerate Fig. 12 (CG performance)
     python -m repro fig16a fig16c        # several at once
+    python -m repro ext                  # extension families vs baselines
     python -m repro all --jobs 4         # everything, sweeps 4-wide
     python -m repro sweep --workloads 'cg/*' --configs Flexagon,CELLO
     python -m repro cache stat           # persistent-cache hit counters
@@ -30,6 +32,7 @@ from .analysis.report import render_table
 from .baselines import runner
 from .baselines.configs import MAIN_CONFIGS, config_names
 from .experiments import (
+    ext_workloads,
     fig01_fig07_dag,
     fig02_roofline,
     fig08_multinode,
@@ -52,6 +55,7 @@ from .workloads.registry import is_resolvable
 #: Each experiment takes ``jobs`` (worker processes for its sweep; modules
 #: without a sweep ignore it) and returns its report text.
 EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "ext": lambda jobs: ext_workloads.report(jobs=jobs),
     "fig1": lambda jobs: fig01_fig07_dag.report(),
     "fig2": lambda jobs: fig02_roofline.report(),
     "fig7": lambda jobs: fig01_fig07_dag.report(),
@@ -70,6 +74,7 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
 }
 
 DESCRIPTIONS: Dict[str, str] = {
+    "ext": "extension workloads (transformer/GMRES/multigrid) vs baselines",
     "fig1": "CG tensor dependency DAG (text rendering, also covers fig7)",
     "fig2": "arithmetic intensity + roofline, regular vs skewed GEMM",
     "fig7": "Algorithm 2 output: dominance letters + dependency classes",
@@ -94,9 +99,32 @@ def list_experiments() -> str:
         lines.append(f"  {name:8s} {DESCRIPTIONS[name]}")
     lines.append("")
     lines.append("Other commands:")
+    lines.append("  list-workloads  show every registered workload name")
     lines.append("  sweep    run a custom (workload x config x sram x bw) sweep")
     lines.append("  cache    persistent result cache: stat | clear")
     lines.append("  bench    time simulator hot paths, write BENCH_kernels.json")
+    return "\n".join(lines)
+
+
+def list_workloads() -> str:
+    """Render the registry: every canonical workload name by family.
+
+    These names are what ``repro sweep --workloads`` patterns match and
+    what the result store keys on; ``docs/extending.md`` explains the
+    name grammar for each family.
+    """
+    from .workloads.registry import all_workloads
+
+    by_family: Dict[str, List[str]] = {}
+    descriptions: Dict[str, str] = {}
+    for name, w in all_workloads().items():
+        by_family.setdefault(w.family, []).append(name)
+        descriptions[name] = w.description
+    lines = ["Registered workloads (see docs/workloads.md):"]
+    for family, names in by_family.items():
+        lines.append(f"  [{family}]")
+        for n in names:
+            lines.append(f"    {n:32s} {descriptions[n]}")
     return "\n".join(lines)
 
 
@@ -286,6 +314,9 @@ def _cache_main(argv: List[str]) -> int:
 
 def main(argv: list | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "list-workloads":
+        print(list_workloads())
+        return 0
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "cache":

@@ -8,6 +8,7 @@ paper-vs-measured.
 
 from . import (
     common,
+    ext_workloads,
     fig01_fig07_dag,
     fig02_roofline,
     fig08_multinode,
@@ -26,6 +27,7 @@ from . import (
 
 __all__ = [
     "common",
+    "ext_workloads",
     "fig01_fig07_dag",
     "fig02_roofline",
     "fig08_multinode",

@@ -1,0 +1,163 @@
+"""Extension-workload comparison: CELLO vs the main baselines on the
+three non-paper DAG families (transformer encoder, restarted GMRES(m),
+2-level multigrid V-cycle) across SRAM capacities.
+
+This is the stress test the paper's curated Table VI set cannot provide
+(see ``docs/workloads.md`` for each family's reuse signature):
+
+* **transformer** — two delayed-hold residual skips at different
+  distances; pipelining schedulers (FLAT) should close most of the gap
+  to CELLO, caches should trail (streaming GEMMs thrash them);
+* **gmres** — a growing Krylov basis re-read every Arnoldi step: the
+  adversarial case for the explicit baselines (every re-read round-trips
+  through DRAM) and the best case for CHORD's frequency-aware retention;
+* **mg** — grid transfers break pipelining entirely, so FLAT gains
+  little over Flexagon and the win must come from buffering
+  (delayed-writeback reuse of the smoothed solution and the restricted
+  residual).
+
+Every (workload, config, SRAM) traffic point is memoised through the
+standard runner, so a cache-warm rerun of ``repro ext`` performs zero
+re-simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.report import render_table
+from ..baselines.configs import MAIN_CONFIGS
+from ..baselines.runner import run_workload_config
+from ..hw.config import MIB, AcceleratorConfig
+from ..sim.results import SimResult
+from ..workloads.matrices import FV1
+from ..workloads.registry import (
+    Workload,
+    gmres_workload,
+    multigrid_workload,
+    transformer_workload,
+)
+from .common import prewarm_grid
+
+#: SRAM capacities swept (the Fig. 16b points).
+SRAM_SWEEP_BYTES: Tuple[int, ...] = (1 * MIB, 4 * MIB, 16 * MIB)
+
+
+def default_workloads() -> Tuple[Workload, ...]:
+    """One representative per extension family (kept small so a cold
+    ``repro ext`` stays interactive; the full grid is
+    :func:`repro.workloads.registry.all_ext_workloads`)."""
+    return (
+        transformer_workload(),
+        gmres_workload(FV1),
+        multigrid_workload(FV1),
+    )
+
+
+@dataclass(frozen=True)
+class ExtPanel:
+    """All configs for one (workload, SRAM size) point."""
+
+    workload: str
+    family: str
+    sram_bytes: int
+    results: Dict[str, SimResult]
+
+    def speedup_of(self, config: str, baseline: str = "Flexagon") -> float:
+        """Throughput of ``config`` relative to ``baseline``."""
+        return self.results[config].speedup_over(self.results[baseline])
+
+
+def run(
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+    workloads: Optional[Sequence[Workload]] = None,
+    configs: Sequence[str] = MAIN_CONFIGS,
+    srams: Sequence[int] = SRAM_SWEEP_BYTES,
+    jobs: Optional[int] = 1,
+) -> Tuple[ExtPanel, ...]:
+    """Simulate workloads × configs × SRAM sizes (memoised)."""
+    workloads = tuple(default_workloads() if workloads is None else workloads)
+    cfgs = [cfg.with_sram(s) for s in srams]
+    prewarm_grid(workloads, configs, cfgs, jobs=jobs)
+    panels = []
+    for w in workloads:
+        for c, sram in zip(cfgs, srams):
+            results = {
+                name: run_workload_config(w, name, c) for name in configs
+            }
+            panels.append(ExtPanel(w.name, w.family, sram, results))
+    return tuple(panels)
+
+
+def cello_speedups(panels: Sequence[ExtPanel]) -> Dict[str, float]:
+    """Best CELLO-vs-Flexagon speedup per family (any SRAM size).
+
+    Panels simulated without both configs are skipped."""
+    out: Dict[str, float] = {}
+    for p in panels:
+        if not {"CELLO", "Flexagon"} <= set(p.results):
+            continue
+        s = p.speedup_of("CELLO")
+        if s > out.get(p.family, 0.0):
+            out[p.family] = s
+    return out
+
+
+def cello_traffic_cuts(panels: Sequence[ExtPanel]) -> Dict[str, float]:
+    """Best CELLO DRAM-traffic reduction factor per family.
+
+    Traffic stays meaningful when a workload is compute-bound (the
+    transformer at 1 TB/s ties every config on time, like the paper's
+    ResNet panel at high bandwidth — Fig. 16a).  Panels simulated without
+    both configs are skipped."""
+    out: Dict[str, float] = {}
+    for p in panels:
+        if not {"CELLO", "Flexagon"} <= set(p.results):
+            continue
+        cut = p.results["Flexagon"].dram_bytes / max(1, p.results["CELLO"].dram_bytes)
+        if cut > out.get(p.family, 0.0):
+            out[p.family] = cut
+    return out
+
+
+def report(
+    cfg: AcceleratorConfig = AcceleratorConfig(),
+    configs: Sequence[str] = MAIN_CONFIGS,
+    jobs: Optional[int] = 1,
+) -> str:
+    panels = run(cfg, configs=configs, jobs=jobs)
+    # The CELLO-vs-Flexagon columns only make sense when both were run.
+    with_summary = {"CELLO", "Flexagon"} <= set(configs)
+    rows = []
+    for p in panels:
+        row = [p.workload, p.sram_bytes // MIB]
+        for c in configs:
+            row.append(p.results[c].dram_bytes / 1e6)
+        if with_summary:
+            row.append(p.speedup_of("CELLO"))
+        rows.append(row)
+    headers = ["workload", "SRAM MB"] + [f"{c} MB" for c in configs]
+    if with_summary:
+        headers.append("CELLO speedup")
+    title = "Extension workloads: DRAM traffic by config"
+    if with_summary:
+        title += " (CELLO speedup vs Flexagon)"
+    table = render_table(headers, rows, title=title)
+    if not with_summary:
+        return table
+    best = cello_speedups(panels)
+    cuts = cello_traffic_cuts(panels)
+    summary = "; ".join(
+        f"{fam}: {best[fam]:.1f}x speedup, {cuts[fam]:.1f}x less traffic"
+        for fam in sorted(best)
+    )
+    return table + "\nBest CELLO result per family: " + summary
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

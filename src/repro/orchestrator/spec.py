@@ -1,15 +1,19 @@
 """Declarative sweep specifications.
 
 A sweep is the paper's evaluation shape — (workload × configuration ×
-SRAM size × bandwidth) — written down as data instead of nested loops
-scattered through experiment modules.  :class:`SweepSpec` enumerates
-deterministic, order-stable :class:`SweepPoint` lists that the parallel
-runner fans out across cores and the result store keys on disk.
+SRAM size × bandwidth), the grid behind Figs. 12-14/16 — written down as
+data instead of nested loops scattered through experiment modules.
+:class:`SweepSpec` enumerates deterministic, order-stable
+:class:`SweepPoint` lists that the parallel runner fans out across cores
+and the result store keys on disk.
 
 Workloads are referred to by canonical registry *name* (optionally
-fnmatch patterns like ``cg/*``), never by object: a name is picklable,
-hashable, and is re-resolved into a DAG builder inside each worker
-process (:func:`repro.workloads.registry.resolve_workload`).
+fnmatch patterns like ``cg/*`` or ``gmres/*``), never by object: a name
+is picklable, hashable, and is re-resolved into a DAG builder inside
+each worker process (:func:`repro.workloads.registry.resolve_workload`).
+Extension families registered per ``docs/extending.md`` participate in
+sweeps with no orchestrator changes — pattern expansion and resolution
+go through the same registry index.
 """
 
 from __future__ import annotations
@@ -39,6 +43,8 @@ class SweepPoint:
     cache_granularity: Optional[int] = None
 
     def key(self) -> Tuple:
+        """Traffic-memoisation key (shared with the runner's cache tiers
+        and the persistent store; bandwidth-independent by design)."""
         return result_key(self.config, self.workload, self.cfg,
                           self.cache_granularity)
 
@@ -95,4 +101,5 @@ class SweepSpec:
         )
 
     def __len__(self) -> int:
+        """Number of enumerated sweep points (simulations before dedup)."""
         return len(self.points())

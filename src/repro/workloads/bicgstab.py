@@ -150,4 +150,6 @@ def build_bicgstab_dag(problem: BiCgStabProblem) -> TensorDag:
 
 
 def bicgstab_ops_per_iteration() -> int:
+    """Operations contributed by one BiCGStab iteration (the nine steps
+    of the module table: three Grams, two SpMMs, four vector updates)."""
     return 9

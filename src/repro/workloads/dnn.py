@@ -34,6 +34,7 @@ class MlpProblem:
 
     @property
     def n_layers(self) -> int:
+        """GEMMs in the chain (consecutive width pairs)."""
         return len(self.widths) - 1
 
 

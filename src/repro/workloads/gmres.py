@@ -1,0 +1,166 @@
+"""Restarted GMRES(m) as a tensor dependency DAG (extension family).
+
+Not a paper workload: this family extends the Table VI solver set with a
+**growing Krylov basis** — the adversarial reuse pattern for recency-based
+caches and the best case for RIFF's frequency hints.  Arnoldi step ``j``
+of a restart cycle re-reads *every* prior basis vector twice:
+
+====  =====================================  =========  ================
+step  einsum                                 dominance  notes
+====  =====================================  =========  ================
+r0    AX = A · X ; V₀ = B − AX               U, U       restart residual
+w     W_j = A · V_j                          U          SpMM
+h     H_j = [V₀ … V_j]ᵀ · W_j                C          Gram vs basis
+o     V_{j+1} = W_j − Σ_i H_ij V_i           U          orthogonalize
+ls    Y = lstsq(H₀ … H_{m−1})                inv        small solve
+x     X' = X + [V₀ … V_m] · Y                U          solution update
+====  =====================================  =========  ================
+
+Algorithm 2 consequences (pinned by ``tests/test_new_workloads.py``):
+
+* ``W_j → h`` is **pipelineable** (the one adjacent stream, like CG's
+  SpMM → Gram pair);
+* every basis re-read ``V_i → {h, o}@j`` for ``j ≥ i`` and the final
+  ``V_i → x`` are **delayed-writeback** — the path always crosses a
+  contracted Gram node or the unshared SpMM hand-off;
+* Gram/inverse out-edges are **sequential**.
+
+The reuse *frequency* of ``V_i`` is ``2(m − i) + 2``: early basis vectors
+are the most-reused tensors in the program yet are the *least recently
+used* at every step — LRU evicts exactly the wrong lines, while RIFF's
+remaining-frequency ranking keeps them resident (Sec. VI-B's hint
+argument, pushed to its extreme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import TensorSpec, csr_tensor, dense_tensor
+from .matrices import MatrixSpec
+
+
+@dataclass(frozen=True)
+class GmresProblem:
+    """Parameters of one restarted GMRES(m) run.
+
+    Extension semantics: the registry name grammar
+    (``gmres/<matrix>/m=<m>/N=<n>[@rs<restarts>]``) encodes every field
+    except ``word_bytes`` (fixed at the solver default of 4, Table VII).
+    """
+
+    matrix: MatrixSpec
+    m: int = 8                 # Krylov dimension per restart cycle
+    n: int = 1                 # right-hand-side block width
+    restarts: int = 2          # number of restart cycles
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.restarts <= 0:
+            raise ValueError("m, n and restarts must be positive")
+
+
+def build_gmres_dag(problem: GmresProblem) -> TensorDag:
+    """Construct the multi-restart GMRES(m) DAG for ``problem``."""
+    mm = problem.matrix.m
+    n = problem.n
+    nnz = problem.matrix.nnz
+    wb = problem.word_bytes
+    eff = max(1e-9, nnz / mm)
+
+    r_m = Rank("m", mm)
+    r_n = Rank("n", n)
+    r_kc = Rank("k", mm, compressed=True, effective_size=eff)  # A's columns
+    r_kd = Rank("k2", mm)       # dense M-sized contraction (Gram ops)
+    r_y = Rank("y", problem.m + 1)
+
+    def vec(name: str, first: Rank = r_m, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    a_spec = csr_tensor("A", (r_m, r_kc), nnz=nnz, word_bytes=wb)
+
+    dag = TensorDag()
+    for c in range(problem.restarts):
+        # Restart residual: AX = A·X, then V_0 = (B − AX) / ||·||.
+        dag.add_op(EinsumOp(
+            name=f"r0:spmm@{c}",
+            inputs=(a_spec, vec(f"X@{c}", r_kc, r_n)),
+            output=vec(f"AX@{c}"),
+            contracted=("k",),
+            label=f"AX = A*X (restart {c})",
+        ))
+        dag.add_op(EinsumOp(
+            name=f"r0:res@{c}",
+            inputs=(vec(f"AX@{c}"), vec("B")),
+            output=vec(f"V@{c}.0"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"V0 = normalize(B - AX) (restart {c})",
+        ))
+        for j in range(problem.m):
+            basis: List[TensorSpec] = [
+                vec(f"V@{c}.{i}", r_kd, r_n) for i in range(j + 1)
+            ]
+            r_b = Rank(f"b{j}", j + 1)
+            # SpMM: expand the Krylov space by one vector.
+            dag.add_op(EinsumOp(
+                name=f"w:spmm@{c}.{j}",
+                inputs=(a_spec, vec(f"V@{c}.{j}", r_kc, r_n)),
+                output=vec(f"W@{c}.{j}"),
+                contracted=("k",),
+                label=f"W = A*V_{j} (restart {c})",
+            ))
+            # Gram against the WHOLE basis: every prior V is re-read.
+            dag.add_op(EinsumOp(
+                name=f"h:gram@{c}.{j}",
+                inputs=(*basis, vec(f"W@{c}.{j}", r_kd, r_n)),
+                output=dense_tensor(f"H@{c}.{j}", (r_b, r_n), word_bytes=wb),
+                contracted=("k2",),
+                label=f"H_j = basis^T*W (restart {c}, step {j})",
+            ))
+            # Orthogonalize: again reads every prior basis vector.
+            dag.add_op(EinsumOp(
+                name=f"o:orth@{c}.{j}",
+                inputs=(
+                    vec(f"W@{c}.{j}"),
+                    *[vec(f"V@{c}.{i}") for i in range(j + 1)],
+                    dense_tensor(f"H@{c}.{j}", (r_b, r_n), word_bytes=wb),
+                ),
+                output=vec(f"V@{c}.{j + 1}"),
+                kind=OpKind.ELEMENTWISE,
+                label=f"V_{j + 1} = W - sum_i H_ij V_i (restart {c})",
+            ))
+        # Small least-squares solve on the Hessenberg columns.
+        dag.add_op(EinsumOp(
+            name=f"ls:lstsq@{c}",
+            inputs=tuple(
+                dense_tensor(f"H@{c}.{j}", (Rank(f"b{j}", j + 1), r_n),
+                             word_bytes=wb)
+                for j in range(problem.m)
+            ),
+            output=dense_tensor(f"Yc@{c}", (r_y, r_n), word_bytes=wb),
+            kind=OpKind.INVERSE,
+            label=f"Y = lstsq(H) (restart {c})",
+        ))
+        # Solution update: X' = X + V·Y — the final full-basis re-read.
+        dag.add_op(EinsumOp(
+            name=f"x:upd@{c}",
+            inputs=(
+                vec(f"X@{c}"),
+                *[vec(f"V@{c}.{i}") for i in range(problem.m + 1)],
+                dense_tensor(f"Yc@{c}", (r_y, r_n), word_bytes=wb),
+            ),
+            output=vec(f"X@{c + 1}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"X' = X + V*Y (restart {c})",
+        ))
+    return dag
+
+
+def gmres_ops_per_restart(m: int) -> int:
+    """Operations contributed by one restart cycle: residual pair,
+    ``m`` Arnoldi triples, least-squares solve, solution update."""
+    return 2 + 3 * m + 2

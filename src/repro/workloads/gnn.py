@@ -33,14 +33,15 @@ class GnnProblem:
             raise ValueError("feature sizes must be positive")
 
 
-#: Table VI GNN problems.
 def cora_problem() -> GnnProblem:
+    """Table VI GNN row 1: the cora citation graph (1433 -> 7 features)."""
     from .matrices import CORA_GRAPH
 
     return GnnProblem(graph=CORA_GRAPH, in_features=1433, out_features=7)
 
 
 def protein_problem() -> GnnProblem:
+    """Table VI GNN row 2: the protein graph (29 -> 2 features)."""
     from .matrices import PROTEIN_GRAPH
 
     return GnnProblem(graph=PROTEIN_GRAPH, in_features=29, out_features=2)

@@ -35,9 +35,13 @@ class MatrixSpec:
 
     @property
     def nnz_per_row(self) -> float:
+        """Mean stored entries per row — the SpMM's effective contracted
+        extent (what makes the CG SpMM ``U``-dominant, Fig. 7)."""
         return self.nnz / self.m
 
     def csr_bytes(self, word_bytes: int = 4, index_bytes: int = 4) -> int:
+        """CSR footprint: values + column indices + row offsets (the
+        quantity every DRAM-traffic model streams for the operand A)."""
         return self.nnz * (word_bytes + index_bytes) + (self.m + 1) * index_bytes
 
 

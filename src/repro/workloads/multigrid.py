@@ -1,0 +1,235 @@
+"""Two-level multigrid V-cycle as a tensor dependency DAG (extension family).
+
+Not a paper workload: this family extends the Table VI solver set with the
+**grid-transfer** reuse signature — tensors produced on one grid are
+consumed on another after a rank change, so their reuse can never pipeline
+and must round-trip through the buffer (delayed writeback), while the
+fine-grid solution is *held* across the entire coarse-grid excursion.
+
+One V-cycle (``nu`` weighted-Jacobi sweeps pre/post, ``nu`` sweeps as the
+coarse solve):
+
+====  ==================================  =========  ===================
+step  einsum                              dominance  notes
+====  ==================================  =========  ===================
+pre   AXs = A·X ; X' = X + w(B − AXs)     U, U       nu smoother sweeps
+res   AXp = A·X ; R = B − AXp             U, U       fine residual
+rst   RC = Pᵀ · R                         U          restriction (fine→coarse)
+crs   ACE = Ac·E ; E' = E + w(RC − ACE)   U, U       coarse smoothing
+prl   EF = P · E                          U          prolongation (coarse→fine)
+cor   X' = X + EF                         U          correction
+post  (as pre)                            U, U       nu smoother sweeps
+====  ==================================  =========  ===================
+
+Algorithm 2 consequences (pinned by ``tests/test_new_workloads.py``):
+
+* grid transfers break pipelining: ``R → rst`` and ``E → prl`` bind the
+  tensor on the *contracted* transfer rank, so the consumer's dominant
+  rank (the destination grid) is unshared — both edges are **sequential**,
+  and every reuse whose path crosses a transfer is **delayed-writeback**;
+* ``RC`` (the restricted residual) is re-read by *every* coarse smoother
+  sweep — the "coarse-grid tensor held across sweeps" signature, all
+  delayed-writeback;
+* the smoothed fine solution rides from the last pre-smoother sweep to
+  the correction add across the whole coarse excursion —
+  **delayed-writeback** at the longest distance in the program;
+* within a sweep, ``AXs → jac`` pipelines (the SpMM streams its update
+  straight into the element-wise Jacobi step), so explicit pipelining
+  still pays — the family mixes all the classes except delayed-hold.
+
+The coarse operator ``Ac`` and the transfer operators ``P``/``Pt`` are
+program inputs whose footprints follow standard Galerkin coarsening:
+``Mc = M/4`` (2-D full coarsening), ``nnz(Ac) = nnz/4``, and 4 transfer
+weights per coarse point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import TensorSpec, csr_tensor, dense_tensor
+from .matrices import MatrixSpec
+
+#: 2-D full coarsening: each coarse point aggregates a 2x2 fine patch.
+COARSENING_FACTOR: int = 4
+#: Transfer-operator occupancy: weights per coarse point (bilinear-ish).
+TRANSFER_NNZ_PER_COARSE: int = 4
+
+
+@dataclass(frozen=True)
+class MultigridProblem:
+    """Parameters of one 2-level V-cycle run on ``matrix``.
+
+    Extension semantics: the registry name grammar
+    (``mg/<matrix>/N=<n>[@cyc<cycles>]``) encodes the dataset, block
+    width and cycle count; ``nu`` (sweeps per smoothing pass, default 2)
+    and ``word_bytes`` stay at their defaults in registry-built problems.
+    """
+
+    matrix: MatrixSpec
+    n: int = 1                 # right-hand-side block width
+    cycles: int = 2            # number of V-cycles
+    nu: int = 2                # smoother sweeps per pre/post/coarse pass
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.cycles <= 0 or self.nu <= 0:
+            raise ValueError("n, cycles and nu must be positive")
+        if self.matrix.m < COARSENING_FACTOR:
+            raise ValueError("matrix too small to coarsen")
+
+    @property
+    def coarse_m(self) -> int:
+        """Coarse-grid size under 2-D full coarsening."""
+        return max(1, self.matrix.m // COARSENING_FACTOR)
+
+    @property
+    def coarse_nnz(self) -> int:
+        """Galerkin coarse-operator occupancy (same stencil density)."""
+        return max(1, self.matrix.nnz // COARSENING_FACTOR)
+
+    @property
+    def transfer_nnz(self) -> int:
+        """Stored weights of the restriction/prolongation operator."""
+        return TRANSFER_NNZ_PER_COARSE * self.coarse_m
+
+
+def build_multigrid_dag(problem: MultigridProblem) -> TensorDag:
+    """Construct the multi-cycle 2-level V-cycle DAG for ``problem``."""
+    mf = problem.matrix.m
+    mc = problem.coarse_m
+    n = problem.n
+    wb = problem.word_bytes
+
+    r_m = Rank("m", mf)
+    r_mc = Rank("mc", mc)
+    r_n = Rank("n", n)
+    # Compressed contraction ranks (nominal extent, effective occupancy).
+    r_kf = Rank("k", mf, compressed=True,
+                effective_size=max(1e-9, problem.matrix.nnz / mf))
+    r_kc = Rank("kc", mc, compressed=True,
+                effective_size=max(1e-9, problem.coarse_nnz / mc))
+    r_pk = Rank("pk", mf, compressed=True,           # restriction: over fine
+                effective_size=max(1e-9, problem.transfer_nnz / mc))
+    r_pc = Rank("pc", mc, compressed=True,           # prolongation: over coarse
+                effective_size=max(1e-9, problem.transfer_nnz / mf))
+
+    def fine(name: str, first: Rank = r_m, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    def coarse(name: str, first: Rank = r_mc, second: Rank = r_n) -> TensorSpec:
+        return dense_tensor(name, (first, second), word_bytes=wb)
+
+    a_f = csr_tensor("A", (r_m, r_kf), nnz=problem.matrix.nnz, word_bytes=wb)
+    a_c = csr_tensor("Ac", (r_mc, r_kc), nnz=problem.coarse_nnz, word_bytes=wb)
+    p_t = csr_tensor("Pt", (r_mc, r_pk), nnz=problem.transfer_nnz, word_bytes=wb)
+    p_f = csr_tensor("P", (r_m, r_pc), nnz=problem.transfer_nnz, word_bytes=wb)
+
+    dag = TensorDag()
+
+    def smooth_pass(tag: str, c: int, x_in: str, x_out: str) -> str:
+        """Emit ``problem.nu`` weighted-Jacobi sweeps, return final X name."""
+        cur = x_in
+        for s in range(problem.nu):
+            out = x_out if s == problem.nu - 1 else f"X@{c}.{tag}{s}"
+            dag.add_op(EinsumOp(
+                name=f"{tag}:spmm@{c}.{s}",
+                inputs=(a_f, fine(cur, r_kf, r_n)),
+                output=fine(f"AX@{c}.{tag}{s}"),
+                contracted=("k",),
+                label=f"AX = A*X ({tag}-smooth {s}, cycle {c})",
+            ))
+            dag.add_op(EinsumOp(
+                name=f"{tag}:jac@{c}.{s}",
+                inputs=(fine(cur), fine(f"AX@{c}.{tag}{s}"), fine("B")),
+                output=fine(out),
+                kind=OpKind.ELEMENTWISE,
+                label=f"X += w*(B - AX) ({tag}-smooth {s}, cycle {c})",
+            ))
+            cur = out
+        return cur
+
+    for c in range(problem.cycles):
+        # Pre-smoothing: nu weighted-Jacobi sweeps on the fine grid.
+        x_pre = smooth_pass("pre", c, f"X@{c}", f"X@{c}.pre")
+        # Fine-grid residual.
+        dag.add_op(EinsumOp(
+            name=f"res:spmm@{c}",
+            inputs=(a_f, fine(x_pre, r_kf, r_n)),
+            output=fine(f"AXp@{c}"),
+            contracted=("k",),
+            label=f"AXp = A*X_pre (cycle {c})",
+        ))
+        dag.add_op(EinsumOp(
+            name=f"res:sub@{c}",
+            inputs=(fine(f"AXp@{c}"), fine("B")),
+            output=fine(f"R@{c}"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"R = B - AXp (cycle {c})",
+        ))
+        # Restriction: fine residual -> coarse grid (rank change).
+        dag.add_op(EinsumOp(
+            name=f"rst:restrict@{c}",
+            inputs=(p_t, fine(f"R@{c}", r_pk, r_n)),
+            output=coarse(f"RC@{c}"),
+            contracted=("pk",),
+            label=f"RC = P^T*R (cycle {c})",
+        ))
+        # Coarse solve: nu Jacobi sweeps from a zero initial guess; RC is
+        # re-read by every sweep (held across the whole coarse pass).
+        dag.add_op(EinsumOp(
+            name=f"crs:jac@{c}.0",
+            inputs=(coarse(f"RC@{c}"),),
+            output=coarse(f"E@{c}.1"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"E = w*RC (coarse sweep 0, cycle {c})",
+        ))
+        for s in range(1, problem.nu):
+            dag.add_op(EinsumOp(
+                name=f"crs:spmm@{c}.{s}",
+                inputs=(a_c, coarse(f"E@{c}.{s}", r_kc, r_n)),
+                output=coarse(f"ACE@{c}.{s}"),
+                contracted=("kc",),
+                label=f"ACE = Ac*E (coarse sweep {s}, cycle {c})",
+            ))
+            dag.add_op(EinsumOp(
+                name=f"crs:jac@{c}.{s}",
+                inputs=(
+                    coarse(f"E@{c}.{s}"),
+                    coarse(f"ACE@{c}.{s}"),
+                    coarse(f"RC@{c}"),
+                ),
+                output=coarse(f"E@{c}.{s + 1}"),
+                kind=OpKind.ELEMENTWISE,
+                label=f"E += w*(RC - ACE) (coarse sweep {s}, cycle {c})",
+            ))
+        # Prolongation: coarse correction -> fine grid (rank change back).
+        dag.add_op(EinsumOp(
+            name=f"prl:prolong@{c}",
+            inputs=(p_f, coarse(f"E@{c}.{problem.nu}", r_pc, r_n)),
+            output=fine(f"EF@{c}"),
+            contracted=("pc",),
+            label=f"EF = P*E (cycle {c})",
+        ))
+        # Correction: the pre-smoothed X re-surfaces after the whole
+        # coarse excursion (longest delayed-writeback in the program).
+        dag.add_op(EinsumOp(
+            name=f"cor:add@{c}",
+            inputs=(fine(x_pre), fine(f"EF@{c}")),
+            output=fine(f"X@{c}.cor"),
+            kind=OpKind.ELEMENTWISE,
+            label=f"X = X_pre + EF (cycle {c})",
+        ))
+        # Post-smoothing.
+        smooth_pass("post", c, f"X@{c}.cor", f"X@{c + 1}")
+    return dag
+
+
+def multigrid_ops_per_cycle(nu: int = 2) -> int:
+    """Operations contributed by one V-cycle: ``2*nu`` pre-smoothing ops,
+    residual pair, restriction, ``2*nu - 1`` coarse-solve ops,
+    prolongation, correction, ``2*nu`` post-smoothing ops."""
+    return 2 * nu + 2 + 1 + (2 * nu - 1) + 1 + 1 + 2 * nu

@@ -1,0 +1,226 @@
+"""Transformer encoder block as a tensor dependency DAG (extension family).
+
+Not a paper workload: this family extends the Table VI set with the
+attention reuse signature the paper's four families lack — **two residual
+skip connections at different hold distances** plus a **softmax-normalizer
+broadcast**.  One encoder block is twelve einsum/element-wise operations:
+
+====  ==============================  =========  ======================
+step  einsum                          dominance  notes
+====  ==============================  =========  ======================
+q     Q  = X · Wq                     bal        query projection
+k     K  = X · Wk                     bal        key projection
+v     V  = X · Wv                     bal        value projection
+s     S  = Q · Kᵀ                     bal        attention scores
+n     Nrm = Σ_t exp(S)                bal        softmax normalizer
+sm    P  = exp(S) / Nrm               bal        normalizer broadcast
+av    O  = P · V                      bal        attention-weighted values
+o     AttnOut = O · Wo                bal        output projection
+add1  Y  = AttnOut + X                bal        residual skip #1
+ff1   F  = Y · W1                     bal        feed-forward expand
+ff2   Z  = F · W2                     bal        feed-forward contract
+add2  OUT = Z + Y                     bal        residual skip #2
+====  ==============================  =========  ======================
+
+With the default shapes (sequence 512, model width 512, head width 64,
+feed-forward width 2048) every node is *balanced*, so the whole main path
+pipelines and Algorithm 2 classifies all three transitive edges as
+**delayed-hold**:
+
+* ``X → add1`` — skip #1, held across the entire eight-op attention path;
+* ``Y → add2`` — skip #2, held across the two feed-forward GEMMs;
+* ``S → sm`` — the scores are held while the normalizer reduction runs,
+  then broadcast-consumed (the softmax re-read).
+
+This is the multi-distance generalisation of the ResNet skip (Fig. 6):
+SET-style single-distance hold support is exercised twice concurrently,
+and the block-input multicast (``X`` feeds q, k, v *and* the residual)
+stresses ``parallel_multicast`` handling.  A leading producer op makes
+the skips classified edges rather than program inputs, exactly as
+:mod:`repro.workloads.resnet` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import dense_tensor
+
+
+@dataclass(frozen=True)
+class TransformerProblem:
+    """Shapes of one (or ``blocks`` stacked) transformer encoder block(s).
+
+    Extension semantics: the registry name grammar
+    (``xformer/s=<seq>/d=<d_model>[@x<blocks>]``) encodes ``seq``,
+    ``d_model`` and ``blocks``; ``d_head``/``d_ff`` are derived there as
+    ``d_model // 8`` and ``4 * d_model`` (the standard 8-head, 4x-MLP
+    transformer proportions) so names stay short and round-trippable.
+    """
+
+    seq: int = 512             # sequence length (tokens)
+    d_model: int = 512         # model (residual stream) width
+    d_head: int = 64           # per-head width (single-head equivalent)
+    d_ff: int = 2048           # feed-forward hidden width
+    word_bytes: int = 2        # inference workloads use 16-bit words
+    blocks: int = 1            # number of stacked encoder blocks
+
+    def __post_init__(self) -> None:
+        if min(self.seq, self.d_model, self.d_head, self.d_ff, self.blocks) <= 0:
+            raise ValueError("all transformer dimensions must be positive")
+
+
+def build_transformer_dag(
+    problem: TransformerProblem = TransformerProblem(),
+) -> TensorDag:
+    """Build ``problem.blocks`` stacked encoder blocks with a leading
+    embedding-projection producer (so skip #1 has an in-DAG source)."""
+    s = problem.seq
+    d = problem.d_model
+    h = problem.d_head
+    f = problem.d_ff
+    wb = problem.word_bytes
+
+    r_s = Rank("s", s)       # query-side sequence positions
+    r_t = Rank("t", s)       # key-side sequence positions
+    r_d = Rank("d", d)       # model width (contracted by projections)
+    r_e = Rank("e", d)       # model width (residual-stream binding)
+    r_g = Rank("g", d)       # model width (FFN output binding)
+    r_h = Rank("h", h)       # head width
+    r_f = Rank("f", f)       # feed-forward hidden width
+    r_kp = Rank("kp", d)     # producer contraction
+
+    dag = TensorDag()
+    # Leading producer: the embedding (or previous block's) projection.
+    dag.add_op(EinsumOp(
+        name="pre:embed",
+        inputs=(
+            dense_tensor("TOK", (r_s, r_kp), word_bytes=wb),
+            dense_tensor("W_emb", (r_kp, r_d), word_bytes=wb),
+        ),
+        output=dense_tensor("X@0", (r_s, r_d), word_bytes=wb),
+        contracted=("kp",),
+        label="embedding projection (producer)",
+    ))
+    for blk in range(problem.blocks):
+        x_in = f"X@{blk}"
+        # Q/K/V projections: contract the model width.
+        for tag, wname in (("q", "Wq"), ("k", "Wk"), ("v", "Wv")):
+            first = r_s if tag == "q" else r_t
+            dag.add_op(EinsumOp(
+                name=f"{tag}:proj@{blk}",
+                inputs=(
+                    dense_tensor(x_in, (first, r_d), word_bytes=wb),
+                    dense_tensor(f"{wname}@{blk}", (r_d, r_h), word_bytes=wb),
+                ),
+                output=dense_tensor(f"{tag.upper()}@{blk}", (first, r_h),
+                                    word_bytes=wb),
+                contracted=("d",),
+                label=f"{tag.upper()} = X*{wname} (block {blk})",
+            ))
+        # Attention scores: S = Q * K^T, contracting the head width.
+        dag.add_op(EinsumOp(
+            name=f"s:scores@{blk}",
+            inputs=(
+                dense_tensor(f"Q@{blk}", (r_s, r_h), word_bytes=wb),
+                dense_tensor(f"K@{blk}", (r_t, r_h), word_bytes=wb),
+            ),
+            output=dense_tensor(f"S@{blk}", (r_s, r_t), word_bytes=wb),
+            contracted=("h",),
+            label=f"S = Q*K^T (block {blk})",
+        ))
+        # Softmax normalizer: row-reduction over the key positions.
+        dag.add_op(EinsumOp(
+            name=f"n:normsum@{blk}",
+            inputs=(dense_tensor(f"S@{blk}", (r_s, r_t), word_bytes=wb),),
+            output=dense_tensor(f"Nrm@{blk}", (r_s,), word_bytes=wb),
+            contracted=("t",),
+            label=f"Nrm = sum_t exp(S) (block {blk})",
+        ))
+        # Softmax broadcast: P = exp(S) / Nrm — S is re-read (delayed hold).
+        dag.add_op(EinsumOp(
+            name=f"sm:softmax@{blk}",
+            inputs=(
+                dense_tensor(f"S@{blk}", (r_s, r_t), word_bytes=wb),
+                dense_tensor(f"Nrm@{blk}", (r_s,), word_bytes=wb),
+            ),
+            output=dense_tensor(f"Prob@{blk}", (r_s, r_t), word_bytes=wb),
+            kind=OpKind.ELEMENTWISE,
+            label=f"P = exp(S)/Nrm (block {blk})",
+        ))
+        # Attention-weighted values: O = P * V, contracting key positions.
+        dag.add_op(EinsumOp(
+            name=f"av:attnv@{blk}",
+            inputs=(
+                dense_tensor(f"Prob@{blk}", (r_s, r_t), word_bytes=wb),
+                dense_tensor(f"V@{blk}", (r_t, r_h), word_bytes=wb),
+            ),
+            output=dense_tensor(f"O@{blk}", (r_s, r_h), word_bytes=wb),
+            contracted=("t",),
+            label=f"O = P*V (block {blk})",
+        ))
+        # Output projection back to the model width.
+        dag.add_op(EinsumOp(
+            name=f"o:proj@{blk}",
+            inputs=(
+                dense_tensor(f"O@{blk}", (r_s, r_h), word_bytes=wb),
+                dense_tensor(f"Wo@{blk}", (r_h, r_e), word_bytes=wb),
+            ),
+            output=dense_tensor(f"AttnOut@{blk}", (r_s, r_e), word_bytes=wb),
+            contracted=("h",),
+            label=f"AttnOut = O*Wo (block {blk})",
+        ))
+        # Residual skip #1: Y = AttnOut + X  (hold across the whole
+        # attention path — eight operations).
+        dag.add_op(EinsumOp(
+            name=f"add:res1@{blk}",
+            inputs=(
+                dense_tensor(f"AttnOut@{blk}", (r_s, r_e), word_bytes=wb),
+                dense_tensor(x_in, (r_s, r_e), word_bytes=wb),
+            ),
+            output=dense_tensor(f"Y@{blk}", (r_s, r_e), word_bytes=wb),
+            kind=OpKind.ELEMENTWISE,
+            label=f"Y = AttnOut + X (block {blk})",
+        ))
+        # Feed-forward expand / contract.
+        dag.add_op(EinsumOp(
+            name=f"ff1:proj@{blk}",
+            inputs=(
+                dense_tensor(f"Y@{blk}", (r_s, r_e), word_bytes=wb),
+                dense_tensor(f"W1@{blk}", (r_e, r_f), word_bytes=wb),
+            ),
+            output=dense_tensor(f"F@{blk}", (r_s, r_f), word_bytes=wb),
+            contracted=("e",),
+            label=f"F = Y*W1 (block {blk})",
+        ))
+        dag.add_op(EinsumOp(
+            name=f"ff2:proj@{blk}",
+            inputs=(
+                dense_tensor(f"F@{blk}", (r_s, r_f), word_bytes=wb),
+                dense_tensor(f"W2@{blk}", (r_f, r_g), word_bytes=wb),
+            ),
+            output=dense_tensor(f"Z@{blk}", (r_s, r_g), word_bytes=wb),
+            contracted=("f",),
+            label=f"Z = F*W2 (block {blk})",
+        ))
+        # Residual skip #2: OUT = Z + Y  (hold across the two FFN GEMMs).
+        dag.add_op(EinsumOp(
+            name=f"add:res2@{blk}",
+            inputs=(
+                dense_tensor(f"Z@{blk}", (r_s, r_g), word_bytes=wb),
+                dense_tensor(f"Y@{blk}", (r_s, r_g), word_bytes=wb),
+            ),
+            output=dense_tensor(f"X@{blk + 1}", (r_s, r_g), word_bytes=wb),
+            kind=OpKind.ELEMENTWISE,
+            label=f"X' = Z + Y (block {blk})",
+        ))
+    return dag
+
+
+def transformer_ops_per_block() -> int:
+    """Operations contributed by one encoder block (q/k/v, scores,
+    normsum, softmax, attnv, out-proj, res1, ff1, ff2, res2)."""
+    return 12

@@ -43,6 +43,20 @@ class TestCli:
         assert lru["vector_accesses_per_s"] > lru["reference_accesses_per_s"]
         assert "Cache kernel backends" in capsys.readouterr().out
 
+    def test_list_workloads(self, capsys):
+        from repro.workloads.registry import all_workloads
+
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in all_workloads():
+            assert name in out
+        for family in ("[cg]", "[xformer]", "[gmres]", "[mg]"):
+            assert family in out
+
+    def test_ext_experiment_registered(self):
+        assert "ext" in EXPERIMENTS
+        assert "ext" in DESCRIPTIONS
+
     def test_default_is_list(self, capsys):
         assert main([]) == 0
         assert "Available experiments" in capsys.readouterr().out

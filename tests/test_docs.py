@@ -1,0 +1,67 @@
+"""Docs consistency: intra-repo links resolve and the workload gallery
+covers every registry name (same checks CI's docs job runs via
+``tools/check_docs.py``)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestDocs:
+    def test_intra_repo_links_resolve(self):
+        assert _checker().check_links() == []
+
+    def test_gallery_covers_every_registry_workload(self):
+        assert _checker().check_workload_coverage() == []
+
+    def test_checker_catches_broken_link(self, tmp_path, monkeypatch):
+        mod = _checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "bad.md").write_text("[dead](does/not/exist.md)")
+        monkeypatch.setattr(mod, "REPO_ROOT", tmp_path)
+        errors = mod.check_links()
+        assert len(errors) == 1 and "does/not/exist.md" in errors[0]
+
+    def test_checker_catches_missing_workload(self, tmp_path, monkeypatch):
+        mod = _checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "workloads.md").write_text("# empty gallery\n")
+        monkeypatch.setattr(mod, "REPO_ROOT", tmp_path)
+        # The registry import falls back to the installed repro package
+        # (sys.path already carries src/ under pytest).
+        errors = mod.check_workload_coverage()
+        assert any("'cg/fv1/N=1'" in e for e in errors)
+        assert any("xformer" in e for e in errors)
+
+    def test_checker_rejects_prefix_only_coverage(self, tmp_path, monkeypatch):
+        # `cg/fv1/N=1` inside `cg/fv1/N=16` must NOT count as documented.
+        mod = _checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "workloads.md").write_text("only `cg/fv1/N=16`\n")
+        monkeypatch.setattr(mod, "REPO_ROOT", tmp_path)
+        errors = mod.check_workload_coverage()
+        assert any("'cg/fv1/N=1'" in e for e in errors)
+        assert not any("'cg/fv1/N=16'" in e for e in errors)
+
+    def test_key_docs_exist(self):
+        for rel in ("README.md", "PAPER.md", "docs/architecture.md",
+                    "docs/workloads.md", "docs/extending.md"):
+            assert (REPO_ROOT / rel).is_file(), rel
+
+    def test_cross_links_present(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/workloads.md" in readme
+        assert "docs/extending.md" in readme
+        arch = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        assert "extending.md" in arch and "workloads.md" in arch

@@ -1,0 +1,308 @@
+"""Tests for the extension workload families (transformer, GMRES,
+multigrid): golden Algorithm-2 classifications pinned from hand-derived
+dominance letters, registry round-trips, and the ext experiment."""
+
+import pickle
+
+import pytest
+
+from repro.core.classify import DependencyType, classify_dependencies
+from repro.core.dominance import Dominance
+from repro.hw.config import MIB, AcceleratorConfig
+from repro.workloads.gmres import GmresProblem, build_gmres_dag, gmres_ops_per_restart
+from repro.workloads.matrices import FV1, NASA4704, SHALLOW_WATER1
+from repro.workloads.multigrid import (
+    MultigridProblem,
+    build_multigrid_dag,
+    multigrid_ops_per_cycle,
+)
+from repro.workloads.registry import (
+    all_ext_workloads,
+    all_workloads,
+    gmres_workload,
+    is_resolvable,
+    multigrid_workload,
+    resolve_workload,
+    transformer_workload,
+)
+from repro.workloads.transformer import (
+    TransformerProblem,
+    build_transformer_dag,
+    transformer_ops_per_block,
+)
+
+SEQ = DependencyType.SEQUENTIAL
+PIPE = DependencyType.PIPELINEABLE
+HOLD = DependencyType.DELAYED_HOLD
+WB = DependencyType.DELAYED_WRITEBACK
+
+
+def _dep(cdag, src, dst, tensor):
+    return cdag.dependency[(src, dst, tensor)]
+
+
+class TestTransformerDag:
+    @pytest.fixture(scope="class")
+    def cdag(self):
+        return classify_dependencies(build_transformer_dag())
+
+    def test_op_count(self):
+        assert len(build_transformer_dag()) == 1 + transformer_ops_per_block()
+        two = TransformerProblem(blocks=2)
+        assert len(build_transformer_dag(two)) == 1 + 2 * transformer_ops_per_block()
+
+    def test_all_nodes_balanced(self, cdag):
+        # Hand-derived Algorithm-2 letters: with seq = d_model = 512,
+        # d_head = 64 and d_ff = 2048 no rank beats the others by the
+        # 8x dominance ratio, so every node is "bal" (like the ResNet
+        # convs in Fig. 7) and the whole main path can pipeline.
+        for name in cdag.dag.op_names:
+            assert cdag.dominance[name].kind is Dominance.BALANCED, name
+
+    def test_golden_summary(self, cdag):
+        assert cdag.summary() == {
+            "sequential": 0,
+            "pipelineable": 14,
+            "delayed_hold": 3,
+            "delayed_writeback": 0,
+        }
+
+    def test_two_skip_distances_are_delayed_hold(self, cdag):
+        # Skip #1: block input held across the whole 8-op attention path.
+        assert _dep(cdag, "pre:embed", "add:res1@0", "X@0") is HOLD
+        # Skip #2: residual stream held across the two FFN GEMMs.
+        assert _dep(cdag, "add:res1@0", "add:res2@0", "Y@0") is HOLD
+        # The two holds span different distances (the multi-distance
+        # generalisation of the single ResNet skip).
+        d1 = cdag.dag.op_index("add:res1@0") - cdag.dag.op_index("pre:embed")
+        d2 = cdag.dag.op_index("add:res2@0") - cdag.dag.op_index("add:res1@0")
+        assert d1 > d2 > 1
+
+    def test_softmax_broadcast_holds_scores(self, cdag):
+        assert _dep(cdag, "s:scores@0", "sm:softmax@0", "S@0") is HOLD
+        assert _dep(cdag, "s:scores@0", "n:normsum@0", "S@0") is PIPE
+        assert _dep(cdag, "n:normsum@0", "sm:softmax@0", "Nrm@0") is PIPE
+
+    def test_block_input_multicasts(self, cdag):
+        # X feeds q/k/v directly (plus the transitive residual edge).
+        assert cdag.parallel_multicast["pre:embed"]
+        assert cdag.numcast["pre:embed"] == 3
+
+    def test_stacked_blocks_chain(self):
+        dag = build_transformer_dag(TransformerProblem(blocks=2))
+        assert set(dag.consumers_of("X@1")) == {
+            "q:proj@1", "k:proj@1", "v:proj@1", "add:res1@1"
+        }
+
+    def test_word_size_is_16bit(self):
+        dag = build_transformer_dag()
+        assert dag.tensor("X@0").word_bytes == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformerProblem(seq=0)
+        with pytest.raises(ValueError):
+            TransformerProblem(d_ff=-1)
+
+
+class TestGmresDag:
+    @pytest.fixture(scope="class")
+    def cdag(self):
+        p = GmresProblem(matrix=NASA4704, m=3, n=1, restarts=1)
+        return classify_dependencies(build_gmres_dag(p))
+
+    def test_op_count(self):
+        for m, rs in ((3, 1), (4, 2)):
+            p = GmresProblem(matrix=FV1, m=m, n=1, restarts=rs)
+            assert len(build_gmres_dag(p)) == gmres_ops_per_restart(m) * rs
+
+    def test_golden_summary(self, cdag):
+        # Hand-derived for m=3, one restart: the Gram ops are "C"
+        # (contracted over M), SpMM/orthogonalize are "U", and every
+        # basis re-read crosses a Gram node or the unshared SpMM
+        # hand-off, so the basis traffic is all delayed-writeback.
+        assert cdag.summary() == {
+            "sequential": 10,
+            "pipelineable": 5,
+            "delayed_hold": 0,
+            "delayed_writeback": 18,
+        }
+
+    def test_gram_nodes_contracted_dominant(self, cdag):
+        for j in range(3):
+            assert cdag.dominance[f"h:gram@0.{j}"].kind is Dominance.CONTRACTED
+            assert cdag.dominance[f"w:spmm@0.{j}"].kind is Dominance.UNCONTRACTED
+
+    def test_spmm_streams_into_gram(self, cdag):
+        # The one adjacent pipeline, exactly like CG's line 1 -> 2a.
+        for j in range(3):
+            assert _dep(cdag, f"w:spmm@0.{j}", f"h:gram@0.{j}", f"W@0.{j}") is PIPE
+
+    def test_growing_basis_rereads_are_writeback(self, cdag):
+        # V_0 is re-read by every later Arnoldi step and the final
+        # update — all delayed-writeback (the LRU-adversarial pattern).
+        for j in range(3):
+            assert _dep(cdag, "r0:res@0", f"h:gram@0.{j}", "V@0.0") is WB
+            assert _dep(cdag, "r0:res@0", f"o:orth@0.{j}", "V@0.0") is WB
+        assert _dep(cdag, "r0:res@0", "x:upd@0", "V@0.0") is WB
+
+    def test_reuse_frequency_grows_toward_early_vectors(self, cdag):
+        dag = cdag.dag
+        freqs = [dag.reuse_frequency(f"V@0.{i}") for i in range(4)]
+        # 2(m - i) + 2 consumers for i < m; the last vector only feeds
+        # the solution update.
+        assert freqs == [8, 6, 4, 1]
+
+    def test_small_solve_edges_sequential(self, cdag):
+        assert _dep(cdag, "h:gram@0.2", "ls:lstsq@0", "H@0.2") is SEQ
+        assert _dep(cdag, "ls:lstsq@0", "x:upd@0", "Yc@0") is SEQ
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GmresProblem(matrix=FV1, m=0)
+        with pytest.raises(ValueError):
+            GmresProblem(matrix=FV1, restarts=0)
+
+
+class TestMultigridDag:
+    @pytest.fixture(scope="class")
+    def cdag(self):
+        p = MultigridProblem(matrix=FV1, n=1, cycles=1)
+        return classify_dependencies(build_multigrid_dag(p))
+
+    def test_op_count(self):
+        for cycles in (1, 2):
+            p = MultigridProblem(matrix=FV1, cycles=cycles)
+            assert len(build_multigrid_dag(p)) == multigrid_ops_per_cycle(p.nu) * cycles
+
+    def test_coarse_shapes(self):
+        p = MultigridProblem(matrix=FV1)
+        assert p.coarse_m == FV1.m // 4
+        dag = build_multigrid_dag(p)
+        assert dag.tensor("RC@0").shape == (p.coarse_m, 1)
+        assert dag.tensor("R@0").shape == (FV1.m, 1)
+
+    def test_golden_summary(self, cdag):
+        # Hand-derived for one cycle, nu=2: smoother SpMM -> Jacobi
+        # pairs pipeline; grid transfers are sequential (the consumer's
+        # dominant rank lives on the other grid); every reuse across a
+        # transfer or a smoother sweep is delayed-writeback; nothing is
+        # delayed-hold (no path pipelines end-to-end).
+        assert cdag.summary() == {
+            "sequential": 7,
+            "pipelineable": 8,
+            "delayed_hold": 0,
+            "delayed_writeback": 6,
+        }
+
+    def test_grid_transfers_break_pipelining(self, cdag):
+        assert _dep(cdag, "res:sub@0", "rst:restrict@0", "R@0") is SEQ
+        assert _dep(cdag, "crs:jac@0.1", "prl:prolong@0", "E@0.2") is SEQ
+
+    def test_solution_held_across_coarse_excursion(self, cdag):
+        # The pre-smoothed X re-surfaces at the correction add — the
+        # longest delayed-writeback distance in the program.
+        assert _dep(cdag, "pre:jac@0.1", "cor:add@0", "X@0.pre") is WB
+        dist = cdag.dag.op_index("cor:add@0") - cdag.dag.op_index("pre:jac@0.1")
+        assert dist == 8  # residual pair + transfer + 3 coarse ops + transfer + add
+
+    def test_restricted_residual_held_across_sweeps(self, cdag):
+        assert _dep(cdag, "rst:restrict@0", "crs:jac@0.0", "RC@0") is PIPE
+        assert _dep(cdag, "rst:restrict@0", "crs:jac@0.1", "RC@0") is WB
+
+    def test_smoother_pipelines(self, cdag):
+        assert _dep(cdag, "pre:spmm@0.0", "pre:jac@0.0", "AX@0.pre0") is PIPE
+        assert _dep(cdag, "prl:prolong@0", "cor:add@0", "EF@0") is PIPE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultigridProblem(matrix=FV1, cycles=0)
+        with pytest.raises(ValueError):
+            MultigridProblem(matrix=FV1, nu=0)
+
+
+class TestExtRegistry:
+    def test_round_trip_default_names(self):
+        for w in all_ext_workloads():
+            assert is_resolvable(w.name)
+            again = resolve_workload(w.name)
+            assert again.name == w.name
+            assert again.family == w.family
+            assert len(again.build()) == len(w.build())
+
+    def test_round_trip_non_default_names(self):
+        for name in (
+            "xformer/s=256/d=256@x2",
+            "gmres/NASA4704/m=4/N=2@rs1",
+            "mg/G2_circuit/N=4@cyc1",
+        ):
+            w = resolve_workload(name)
+            assert w.name == name
+            assert len(w.build()) > 0
+
+    def test_names_are_picklable_sweep_payloads(self):
+        # The orchestrator ships names (not Workload objects) across
+        # process boundaries; a pickled name must resolve identically.
+        from repro.orchestrator.spec import SweepPoint
+
+        for w in all_ext_workloads():
+            p = SweepPoint(w.name, "CELLO")
+            thawed = pickle.loads(pickle.dumps(p))
+            assert thawed == p
+            assert resolve_workload(thawed.workload).name == w.name
+
+    def test_registry_contains_ext_families(self):
+        families = {w.family for w in all_workloads().values()}
+        assert {"xformer", "gmres", "mg"} <= families
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            resolve_workload("gmres/nope/m=8/N=1")
+        with pytest.raises(KeyError):
+            resolve_workload("mg/nope/N=1")
+
+    def test_factories_match_grammar(self):
+        assert transformer_workload(256, 128, blocks=3).name == "xformer/s=256/d=128@x3"
+        assert gmres_workload(SHALLOW_WATER1, m=16, n=4).name == "gmres/shallow_water1/m=16/N=4"
+        assert multigrid_workload(FV1, n=2, cycles=5).name == "mg/fv1/N=2@cyc5"
+
+
+class TestExtExperiment:
+    def test_smoke_and_orderings(self):
+        from repro.experiments import ext_workloads
+
+        cfg = AcceleratorConfig()
+        panels = ext_workloads.run(
+            cfg,
+            workloads=(
+                transformer_workload(seq=128, d_model=128),
+                gmres_workload(FV1, m=4, restarts=1),
+                multigrid_workload(FV1, cycles=1),
+            ),
+            configs=("Flexagon", "FLAT", "CELLO"),
+            srams=(4 * MIB,),
+        )
+        assert len(panels) == 3
+        by_family = {p.family: p for p in panels}
+        assert set(by_family) == {"xformer", "gmres", "mg"}
+        for p in panels:
+            # CELLO never moves more DRAM traffic than the baselines.
+            cello = p.results["CELLO"].dram_bytes
+            assert cello <= p.results["FLAT"].dram_bytes
+            assert cello <= p.results["Flexagon"].dram_bytes
+        # GMRES is the adversarial case for pipelining-only schedules:
+        # FLAT gains almost nothing over op-by-op, CELLO gains a lot.
+        g = by_family["gmres"]
+        assert g.results["FLAT"].dram_bytes > 0.9 * g.results["Flexagon"].dram_bytes
+        assert g.results["CELLO"].dram_bytes < 0.5 * g.results["Flexagon"].dram_bytes
+        # The transformer's two holds make FLAT capture only part of
+        # CELLO's win (FLAT pipelines but cannot hold skips).
+        x = by_family["xformer"]
+        assert x.results["CELLO"].dram_bytes < x.results["FLAT"].dram_bytes
+
+    def test_report_renders(self):
+        from repro.experiments import ext_workloads
+
+        rep = ext_workloads.report()
+        for marker in ("xformer", "gmres", "mg", "CELLO"):
+            assert marker in rep

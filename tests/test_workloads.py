@@ -201,9 +201,12 @@ class TestResNetDag:
 class TestRegistry:
     def test_all_workloads_buildable(self):
         ws = all_workloads()
-        assert len(ws) == 6 + 3 + 2 + 1  # CG grid + bicgstab + gnn + resnet
+        # CG grid + bicgstab + gnn + resnet + extension families
+        # (1 transformer + 2 gmres + 2 mg).
+        assert len(ws) == 6 + 3 + 2 + 1 + 5
         # Spot-build a few.
-        for name in ("cg/fv1/N=1", "gnn/cora", "resnet/conv3_x"):
+        for name in ("cg/fv1/N=1", "gnn/cora", "resnet/conv3_x",
+                     "xformer/s=512/d=512", "gmres/fv1/m=8/N=1", "mg/fv1/N=1"):
             dag = ws[name].build()
             assert len(dag) > 0
 
