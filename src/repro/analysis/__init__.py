@@ -24,6 +24,7 @@ from .roofline import (
     result_on_roofline,
     roofline_for,
 )
+from .tuner_report import render_tune_result, tune_results_json
 
 __all__ = [
     "render_kv",
@@ -45,4 +46,6 @@ __all__ = [
     "noc_seconds_per_run",
     "scaling_report",
     "simulate_cg_scaling",
+    "render_tune_result",
+    "tune_results_json",
 ]

@@ -12,10 +12,10 @@ NoC payload is independent of M.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..baselines.cello import run_cello
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..hw.noc import NocConfig
 from ..workloads.cg import CgProblem, build_cg_dag
 from ..workloads.matrices import MatrixSpec
@@ -69,9 +69,10 @@ def simulate_cg_scaling(
     n: int,
     iterations: int,
     node_counts: Sequence[int],
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
 ) -> Tuple[ScalingPoint, ...]:
     """Strong-scale one CG problem across ``node_counts`` nodes."""
+    cfg = default_config(cfg)
     if 1 not in node_counts:
         node_counts = (1, *node_counts)
     baseline_time = None

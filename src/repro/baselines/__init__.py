@@ -1,11 +1,15 @@
 """Table IV baseline accelerator configurations and the batch runner."""
 
 from .configs import (
+    CACHE_POLICIES,
     EXTRA_CONFIGS,
     MAIN_CONFIGS,
     TABLE_IV,
     ConfigSpec,
+    cello_variant_name,
     config_names,
+    is_known_config,
+    parse_cello_variant,
     run_config,
 )
 from .flexagon import oracle_traffic, run_flexagon
@@ -22,11 +26,15 @@ from .runner import (
 )
 
 __all__ = [
+    "CACHE_POLICIES",
     "EXTRA_CONFIGS",
     "MAIN_CONFIGS",
     "TABLE_IV",
     "ConfigSpec",
+    "cello_variant_name",
     "config_names",
+    "is_known_config",
+    "parse_cello_variant",
     "run_config",
     "oracle_traffic",
     "run_flexagon",

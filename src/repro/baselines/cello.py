@@ -9,6 +9,8 @@ replacement, so a squatting tensor can lock out sooner-reused ones.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.dag import TensorDag
 from ..hw.config import AcceleratorConfig
 from ..score.scheduler import Score, ScoreOptions
@@ -26,12 +28,18 @@ def run_cello(
     dag: TensorDag,
     cfg: AcceleratorConfig,
     workload_name: str = "workload",
-    options: EngineOptions = EngineOptions(),
+    options: Optional[EngineOptions] = None,
+    config_name: str = "CELLO",
 ) -> SimResult:
-    """Simulate CELLO (SCORE + CHORD)."""
+    """Simulate CELLO (SCORE + CHORD).
+
+    ``config_name`` labels the result — ablated schedule-knob variants
+    pass their canonical ``CELLO[...]`` name (see
+    :func:`repro.baselines.configs.cello_variant_name`).
+    """
     schedule = cello_schedule(dag, cfg)
     engine = ScheduleEngine(cfg, options)
-    return engine.run(schedule, config_name="CELLO", workload_name=workload_name)
+    return engine.run(schedule, config_name=config_name, workload_name=workload_name)
 
 
 def run_prelude_only(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..orchestrator.store import ResultStore, result_key
 from ..sim.perf import make_result
 from ..sim.results import SimResult
@@ -126,7 +126,7 @@ def run_workload_config(
 def run_matrix(
     workloads: Sequence[Workload],
     configs: Sequence[str] = MAIN_CONFIGS,
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, SimResult]]:
@@ -138,6 +138,7 @@ def run_matrix(
     :func:`repro.workloads.registry.resolve_workload`); assembly then
     replays from the warm cache, so the output is identical to ``jobs=1``.
     """
+    cfg = default_config(cfg)
     if jobs is None or jobs > 1:
         from ..orchestrator.parallel import prewarm
         from ..orchestrator.spec import SweepPoint

@@ -10,6 +10,7 @@ Usage::
     python -m repro ext                  # extension families vs baselines
     python -m repro all --jobs 4         # everything, sweeps 4-wide
     python -m repro sweep --workloads 'cg/*' --configs Flexagon,CELLO
+    python -m repro tune gmres/fv1/m=8/N=1 --strategy grid
     python -m repro cache stat           # persistent-cache hit counters
     python -m repro cache clear
     python -m repro bench --quick        # hot-path kernels -> BENCH_kernels.json
@@ -30,7 +31,7 @@ from typing import Callable, Dict, List, Optional
 
 from .analysis.report import render_table
 from .baselines import runner
-from .baselines.configs import MAIN_CONFIGS, config_names
+from .baselines.configs import MAIN_CONFIGS, config_names, is_known_config
 from .experiments import (
     ext_workloads,
     fig01_fig07_dag,
@@ -47,6 +48,7 @@ from .experiments import (
     table01_hpcg,
     table02_schedulers,
     table03_buffers,
+    tune_study,
 )
 from .hw.config import GB, MIB
 from .orchestrator import ResultStore, SweepSpec, run_sweep
@@ -71,6 +73,7 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
     "table2": lambda jobs: table02_schedulers.report(),
     "table3": lambda jobs: table03_buffers.report(),
     "sec6b": lambda jobs: sec6b_searchspace.report(),
+    "autotune": lambda jobs: tune_study.report(jobs=jobs),
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -90,6 +93,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "table2": "scheduler capability matrix (live-verified)",
     "table3": "buffer mechanism matrix (live-verified)",
     "sec6b": "buffer-allocation search-space sizes",
+    "autotune": "co-design autotuning study: searched best vs fixed CELLO",
 }
 
 
@@ -101,6 +105,7 @@ def list_experiments() -> str:
     lines.append("Other commands:")
     lines.append("  list-workloads  show every registered workload name")
     lines.append("  sweep    run a custom (workload x config x sram x bw) sweep")
+    lines.append("  tune     co-design autotuner: Pareto search per workload")
     lines.append("  cache    persistent result cache: stat | clear")
     lines.append("  bench    time simulator hot paths, write BENCH_kernels.json")
     return "\n".join(lines)
@@ -189,6 +194,28 @@ def _parse_floats(text: str) -> List[float]:
     return [float(x) for x in text.split(",") if x.strip()]
 
 
+def _split_configs(text: str) -> List[str]:
+    """Split a comma-separated config list, respecting brackets —
+    ``CELLO[riff=0,retire=0]`` is one name, not two."""
+    out: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "," and depth == 0:
+            if current.strip():
+                out.append(current.strip())
+            current = ""
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth = max(0, depth - 1)
+        current += ch
+    if current.strip():
+        out.append(current.strip())
+    return out
+
+
 def _sweep_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro sweep",
@@ -215,15 +242,17 @@ def _sweep_main(argv: List[str]) -> int:
     _add_cache_args(parser)
     args = parser.parse_args(argv)
 
-    unknown = [c for c in args.configs.split(",") if c and c not in config_names()]
+    configs = _split_configs(args.configs)
+    unknown = [c for c in configs if not is_known_config(c)]
     if unknown:
         print(f"unknown config(s): {', '.join(unknown)}; "
-              f"known: {', '.join(config_names())}", file=sys.stderr)
+              f"known: {', '.join(config_names())} plus Flex+SRRIP and "
+              "CELLO[...] schedule variants", file=sys.stderr)
         return 2
 
     spec = SweepSpec(
         workloads=tuple(w for w in args.workloads.split(",") if w.strip()),
-        configs=tuple(c for c in args.configs.split(",") if c.strip()),
+        configs=tuple(configs),
         sram_bytes=tuple(int(m * MIB) for m in _parse_floats(args.sram_mb)),
         bandwidths=tuple(g * GB for g in _parse_floats(args.bandwidth_gb)),
     )
@@ -263,6 +292,112 @@ def _sweep_main(argv: List[str]) -> int:
         rows,
         title=f"Sweep: {len(points)} points",
     ))
+    return 0
+
+
+def _tune_main(argv: List[str]) -> int:
+    from .analysis.tuner_report import render_tune_result, tune_results_json
+    from .tuner import STRATEGIES, TuneSpace, make_strategy, tune
+    from .tuner.pareto import OBJECTIVES, DEFAULT_OBJECTIVES
+
+    parser = argparse.ArgumentParser(
+        prog="repro tune",
+        description="Search the co-design space (schedule knobs x CHORD/"
+                    "hardware knobs) of one or more workloads and report "
+                    "the Pareto frontier next to the fixed CELLO point.",
+    )
+    parser.add_argument(
+        "workloads", nargs="+", metavar="WORKLOAD",
+        help="registry workload name(s), e.g. gmres/fv1/m=8/N=1 "
+             "(see 'repro list-workloads')",
+    )
+    parser.add_argument(
+        "--strategy", default="grid", choices=sorted(STRATEGIES),
+        help="search strategy (default grid — the spaces are small)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=32, metavar="N",
+        help="evaluation budget for random/halving (default 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="sampling seed for random/halving (default 0)",
+    )
+    parser.add_argument(
+        "--objectives", default=",".join(DEFAULT_OBJECTIVES) + ",area",
+        metavar="NAMES",
+        help=f"comma-separated minimisation objectives, primary first "
+             f"(known: {', '.join(OBJECTIVES)}; default runtime,dram,area)",
+    )
+    parser.add_argument(
+        "--sram-mb", default="4,1", metavar="MBS",
+        help="comma-separated SRAM capacities in MiB, paper point first "
+             "(default 4,1)",
+    )
+    parser.add_argument(
+        "--entries", default="64,16", metavar="NS",
+        help="comma-separated RIFF index-table sizes, paper point first "
+             "(default 64,16)",
+    )
+    parser.add_argument(
+        "--include-baselines", action="store_true",
+        help="add the Flex+LRU/BRRIP/SRRIP cache policies to the space",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full results as JSON to PATH",
+    )
+    _add_cache_args(parser)
+    args = parser.parse_args(argv)
+
+    bad = [w for w in args.workloads if not is_resolvable(w)]
+    if bad:
+        print(f"unknown workload(s): {', '.join(bad)}; "
+              "see 'repro list-workloads'", file=sys.stderr)
+        return 2
+    try:
+        srams = tuple(int(m * MIB) for m in _parse_floats(args.sram_mb))
+        entries = tuple(int(e) for e in _parse_floats(args.entries))
+        space = TuneSpace(
+            chord_entries=entries or (64,),
+            sram_bytes=srams or (4 * MIB,),
+            cache_policies=("LRU", "BRRIP", "SRRIP")
+            if args.include_baselines else (),
+        )
+        objectives = tuple(
+            n.strip() for n in args.objectives.split(",") if n.strip()
+        )
+    except ValueError as exc:
+        print(f"invalid tune space: {exc}", file=sys.stderr)
+        return 2
+
+    store = _install_store(args)
+    jobs = _jobs_arg(args)
+    results = []
+    try:
+        for w in args.workloads:
+            try:
+                results.append(tune(
+                    w, space=space,
+                    strategy=make_strategy(args.strategy, budget=args.budget,
+                                           seed=args.seed),
+                    objectives=objectives, jobs=jobs,
+                ))
+            except (KeyError, ValueError) as exc:
+                print(f"tune failed for {w!r}: {exc}", file=sys.stderr)
+                return 2
+            print(render_tune_result(results[-1]))
+            print()
+    finally:
+        if store is not None:
+            store.save_stats()
+        runner.set_store(None)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(tune_results_json(results),
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -319,6 +454,8 @@ def main(argv: list | None = None) -> int:
         return 0
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "tune":
+        return _tune_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     if argv and argv[0] == "bench":
@@ -331,7 +468,7 @@ def main(argv: list | None = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (e.g. fig12 table2), 'all', or 'list'; "
-             "see also the 'sweep', 'cache' and 'bench' subcommands",
+             "see also the 'sweep', 'tune', 'cache' and 'bench' subcommands",
     )
     _add_cache_args(parser)
     args = parser.parse_args(argv)

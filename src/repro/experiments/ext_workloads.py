@@ -29,7 +29,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..analysis.report import render_table
 from ..baselines.configs import MAIN_CONFIGS
 from ..baselines.runner import run_workload_config
-from ..hw.config import MIB, AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config, MIB
 from ..sim.results import SimResult
 from ..workloads.matrices import FV1
 from ..workloads.registry import (
@@ -70,13 +70,14 @@ class ExtPanel:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     workloads: Optional[Sequence[Workload]] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     srams: Sequence[int] = SRAM_SWEEP_BYTES,
     jobs: Optional[int] = 1,
 ) -> Tuple[ExtPanel, ...]:
     """Simulate workloads × configs × SRAM sizes (memoised)."""
+    cfg = default_config(cfg)
     workloads = tuple(default_workloads() if workloads is None else workloads)
     cfgs = [cfg.with_sram(s) for s in srams]
     prewarm_grid(workloads, configs, cfgs, jobs=jobs)
@@ -122,10 +123,11 @@ def cello_traffic_cuts(panels: Sequence[ExtPanel]) -> Dict[str, float]:
 
 
 def report(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     jobs: Optional[int] = 1,
 ) -> str:
+    cfg = default_config(cfg)
     panels = run(cfg, configs=configs, jobs=jobs)
     # The CELLO-vs-Flexagon columns only make sense when both were run.
     with_summary = {"CELLO", "Flexagon"} <= set(configs)

@@ -8,11 +8,11 @@ vs a 524288×16×16 GEMM (2 ops/byte) with the same multiplication count;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..analysis.report import render_table
 from ..analysis.roofline import REGULAR_GEMM, SKEWED_GEMM, roofline_for
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 
 
 @dataclass(frozen=True)
@@ -24,7 +24,8 @@ class Fig2Row:
     memory_bound: bool
 
 
-def run(cfg: AcceleratorConfig = AcceleratorConfig()) -> Tuple[Fig2Row, ...]:
+def run(cfg: Optional[AcceleratorConfig] = None) -> Tuple[Fig2Row, ...]:
+    cfg = default_config(cfg)
     rl = roofline_for(cfg)
     rows = []
     for p in (REGULAR_GEMM, SKEWED_GEMM):
@@ -39,7 +40,8 @@ def run(cfg: AcceleratorConfig = AcceleratorConfig()) -> Tuple[Fig2Row, ...]:
     return tuple(rows)
 
 
-def report(cfg: AcceleratorConfig = AcceleratorConfig()) -> str:
+def report(cfg: Optional[AcceleratorConfig] = None) -> str:
+    cfg = default_config(cfg)
     rows = run(cfg)
     table = render_table(
         ["GEMM", "MACs", "AI (ops/B)", "attainable GMAC/s", "memory bound"],

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..analysis.report import render_table
 from ..baselines.configs import MAIN_CONFIGS
 from ..baselines.runner import run_workload_config
-from ..hw.config import BANDWIDTH_POINTS, AcceleratorConfig
+from ..hw.config import AcceleratorConfig, BANDWIDTH_POINTS, default_config
 from ..sim.results import SimResult, geomean
 from ..workloads.registry import CG_DATASETS, CG_N_VALUES, cg_workload
 from .common import bandwidth_label, prewarm_grid
@@ -35,7 +35,7 @@ class Fig12Panel:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     bandwidths: Sequence[float] = BANDWIDTH_POINTS,
     datasets=CG_DATASETS,
@@ -46,6 +46,7 @@ def run(
 ) -> Tuple[Fig12Panel, ...]:
     # Bandwidth variants share one simulation, so the prewarm grid only
     # spans (dataset × N) × config at the base cfg.
+    cfg = default_config(cfg)
     prewarm_grid(
         [cg_workload(ds, n, iterations=iterations)
          for ds in datasets for n in n_values],
@@ -73,12 +74,13 @@ def cello_geomean_speedup(panels: Sequence[Fig12Panel],
 
 
 def report(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     iterations: int = 10,
     jobs: Optional[int] = 1,
 ) -> str:
+    cfg = default_config(cfg)
     panels = run(cfg, configs=configs, iterations=iterations,
                  cache_granularity=cache_granularity, jobs=jobs)
     rows = []

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..analysis.report import render_table
 from ..baselines.configs import MAIN_CONFIGS
 from ..baselines.runner import run_workload_config
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..sim.results import SimResult
 from ..workloads.registry import (
     all_bicgstab_workloads,
@@ -31,11 +31,12 @@ class Fig13Panel:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> Tuple[Fig13Panel, ...]:
+    cfg = default_config(cfg)
     workloads = (*all_gnn_workloads(), *all_bicgstab_workloads())
     prewarm_grid(workloads, configs, [cfg],
                  cache_granularity=cache_granularity, jobs=jobs)
@@ -50,11 +51,12 @@ def run(
 
 
 def report(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> str:
+    cfg = default_config(cfg)
     panels = run(cfg, configs=configs, cache_granularity=cache_granularity,
                  jobs=jobs)
     rows = []

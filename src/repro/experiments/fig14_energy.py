@@ -13,7 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..analysis.report import render_table
 from ..baselines.configs import MAIN_CONFIGS
 from ..baselines.runner import run_workload_config
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..sim.results import geomean
 from ..workloads.registry import (
     all_bicgstab_workloads,
@@ -40,11 +40,12 @@ def _family_workloads():
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> Tuple[Fig14Row, ...]:
+    cfg = default_config(cfg)
     prewarm_grid(
         [w for workloads in _family_workloads().values() for w in workloads],
         configs, [cfg], cache_granularity=cache_granularity, jobs=jobs,
@@ -74,11 +75,12 @@ def cello_reduction_range(rows: Sequence[Fig14Row]) -> Tuple[float, float]:
 
 
 def report(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = MAIN_CONFIGS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> str:
+    cfg = default_config(cfg)
     rows = run(cfg, configs=configs, cache_granularity=cache_granularity,
                jobs=jobs)
     table_rows = [

@@ -7,10 +7,10 @@ per-access energy far above buffet/CHORD (tag probes).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..analysis.report import render_table
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..hw.sram_model import (
     StructureCost,
     all_structure_costs,
@@ -18,11 +18,13 @@ from ..hw.sram_model import (
 )
 
 
-def run(cfg: AcceleratorConfig = AcceleratorConfig()) -> Dict[str, StructureCost]:
+def run(cfg: Optional[AcceleratorConfig] = None) -> Dict[str, StructureCost]:
+    cfg = default_config(cfg)
     return all_structure_costs(cfg)
 
 
-def report(cfg: AcceleratorConfig = AcceleratorConfig()) -> str:
+def report(cfg: Optional[AcceleratorConfig] = None) -> str:
+    cfg = default_config(cfg)
     costs = run(cfg)
     order = ("buffet", "cache", "chord")
     rows = [

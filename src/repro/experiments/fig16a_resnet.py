@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from ..baselines.runner import run_workload_config
-from ..hw.config import BANDWIDTH_POINTS, AcceleratorConfig
+from ..hw.config import AcceleratorConfig, BANDWIDTH_POINTS, default_config
 from ..sim.results import SimResult
 from ..workloads.registry import resnet_workload
 from .common import bandwidth_label, prewarm_grid
@@ -29,12 +29,13 @@ class Fig16aPanel:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = CONFIGS,
     bandwidths: Sequence[float] = BANDWIDTH_POINTS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> Tuple[Fig16aPanel, ...]:
+    cfg = default_config(cfg)
     w = resnet_workload()
     prewarm_grid([w], configs, [cfg],
                  cache_granularity=cache_granularity, jobs=jobs)
@@ -50,11 +51,12 @@ def run(
 
 
 def report(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = CONFIGS,
     cache_granularity: Optional[int] = None,
     jobs: Optional[int] = 1,
 ) -> str:
+    cfg = default_config(cfg)
     panels = run(cfg, configs=configs, cache_granularity=cache_granularity,
                  jobs=jobs)
     perf_rows = []

@@ -13,7 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from ..baselines.runner import run_workload_config
-from ..hw.config import MIB, AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config, MIB
 from ..sim.results import SimResult
 from ..workloads.registry import cg_workload
 from ..workloads.matrices import SHALLOW_WATER1
@@ -31,12 +31,13 @@ class Fig16bPoint:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     srams: Sequence[int] = SRAM_SWEEP_BYTES,
     n_values: Sequence[int] = N_VALUES,
     iterations: int = 10,
     jobs: Optional[int] = 1,
 ) -> Tuple[Fig16bPoint, ...]:
+    cfg = default_config(cfg)
     prewarm_grid(
         [cg_workload(SHALLOW_WATER1, n, iterations=iterations) for n in n_values],
         ("CELLO",), [cfg.with_sram(s) for s in srams], jobs=jobs,
@@ -51,8 +52,9 @@ def run(
     return tuple(points)
 
 
-def report(cfg: AcceleratorConfig = AcceleratorConfig(),
+def report(cfg: Optional[AcceleratorConfig] = None,
            iterations: int = 10, jobs: Optional[int] = 1) -> str:
+    cfg = default_config(cfg)
     points = run(cfg, iterations=iterations, jobs=jobs)
     rows = [
         [

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from ..baselines.runner import run_workload_config
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..sim.results import SimResult
 from ..workloads.registry import cg_workload
 from ..workloads.matrices import SHALLOW_WATER1
@@ -44,12 +44,13 @@ class Fig16cPanel:
 
 
 def run(
-    cfg: AcceleratorConfig = AcceleratorConfig(),
+    cfg: Optional[AcceleratorConfig] = None,
     configs: Sequence[str] = CONFIGS,
     n_values: Sequence[int] = N_VALUES,
     iterations: int = 10,
     jobs: Optional[int] = 1,
 ) -> Tuple[Fig16cPanel, ...]:
+    cfg = default_config(cfg)
     prewarm_grid(
         [cg_workload(SHALLOW_WATER1, n, iterations=iterations) for n in n_values],
         configs, [cfg], jobs=jobs,
@@ -62,8 +63,9 @@ def run(
     return tuple(panels)
 
 
-def report(cfg: AcceleratorConfig = AcceleratorConfig(),
+def report(cfg: Optional[AcceleratorConfig] = None,
            iterations: int = 10, jobs: Optional[int] = 1) -> str:
+    cfg = default_config(cfg)
     panels = run(cfg, iterations=iterations, jobs=jobs)
     rows = []
     for p in panels:

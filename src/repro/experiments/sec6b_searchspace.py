@@ -11,8 +11,10 @@ buffer (32-bit words) and the 7-operator CG iteration DAG:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.report import render_kv
-from ..hw.config import AcceleratorConfig
+from ..hw.config import AcceleratorConfig, default_config
 from ..score.searchspace import (
     SearchSpaceReport,
     compare_search_spaces,
@@ -21,17 +23,19 @@ from ..workloads.matrices import SHALLOW_WATER1
 from ..workloads.registry import cg_workload
 
 
-def run(cfg: AcceleratorConfig = AcceleratorConfig(),
+def run(cfg: Optional[AcceleratorConfig] = None,
         iterations: int = 10,
         time_steps: int = 4) -> SearchSpaceReport:
     """Search-space comparison over the full CG problem (Table VII: 10
     iterations — CHORD's design points are counted on the whole DAG)."""
+    cfg = default_config(cfg)
     dag = cg_workload(SHALLOW_WATER1, n=16, iterations=iterations).build()
     size_words = cfg.sram_bytes // 4
     return compare_search_spaces(dag, size_words=size_words, time_steps=time_steps)
 
 
-def report(cfg: AcceleratorConfig = AcceleratorConfig()) -> str:
+def report(cfg: Optional[AcceleratorConfig] = None) -> str:
+    cfg = default_config(cfg)
     rep = run(cfg)
     per_step = run(cfg, time_steps=1)
     pairs = [

@@ -1,0 +1,134 @@
+"""Co-design autotuning study: the searched optimum vs the paper's fixed
+CELLO point, per workload, per SRAM size (the operational sequel to
+Sec. VI-B's search-space counting).
+
+``sec6b_searchspace`` shows CHORD collapses buffer allocation to
+O(nodes + edges) design points; this experiment *searches* the space
+that remains — the SCORE schedule knobs × the RIFF index-table size —
+with the exhaustive grid strategy (the space is small enough precisely
+because of the paper's argument), at each of the Fig. 16b SRAM
+capacities, over one Table VI family (CG) and the three PR 3 extension
+families (transformer, GMRES, multigrid).
+
+Two readings of the output:
+
+* **validation** — wherever the searched best equals plain ``CELLO``,
+  the paper's fixed choice is confirmed Pareto-optimal for that
+  workload/SRAM point;
+* **headroom** — wherever a variant wins (e.g. a smaller index table at
+  unchanged runtime, or ``swz=0`` when a layout transform never pays),
+  the co-design has exploitable slack the fixed point leaves behind.
+
+Every evaluation is a standard memoised sweep point, so a cache-warm
+rerun performs zero re-simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.report import render_table
+from ..analysis.tuner_report import render_tune_result
+from ..hw.config import MIB, AcceleratorConfig, default_config
+from ..tuner import GridStrategy, TuneResult, TuneSpace, tune
+
+#: SRAM capacities studied (the Fig. 16b points).
+SRAM_POINTS_BYTES: Tuple[int, ...] = (1 * MIB, 4 * MIB, 16 * MIB)
+
+#: Tuned workloads: one Table VI family + the PR 3 extension families.
+TUNED_WORKLOADS: Tuple[str, ...] = (
+    "cg/fv1/N=16",
+    "xformer/s=512/d=512",
+    "gmres/fv1/m=8/N=1",
+    "mg/fv1/N=1",
+)
+
+#: Per-SRAM search space: all 8 schedule-knob combinations × two RIFF
+#: index-table sizes.  16 CELLO-family points per (workload, SRAM).
+CHORD_ENTRIES_AXIS: Tuple[int, ...] = (64, 16)
+
+#: The study's trade-off axes; area makes the index-table knob visible.
+STUDY_OBJECTIVES: Tuple[str, ...] = ("runtime", "dram", "area")
+
+
+def study_space(sram_bytes: int) -> TuneSpace:
+    """The per-SRAM-size co-design space this study enumerates."""
+    return TuneSpace(
+        chord_entries=CHORD_ENTRIES_AXIS,
+        sram_bytes=(sram_bytes,),
+    )
+
+
+def run(
+    cfg: Optional[AcceleratorConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    srams: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = 1,
+) -> Dict[Tuple[str, int], TuneResult]:
+    """Tune every (workload, SRAM size) pair; keys are (name, bytes)."""
+    cfg = default_config(cfg)
+    workloads = TUNED_WORKLOADS if workloads is None else workloads
+    srams = SRAM_POINTS_BYTES if srams is None else srams
+    out: Dict[Tuple[str, int], TuneResult] = {}
+    for name in workloads:
+        for sram in srams:
+            out[(name, sram)] = tune(
+                name,
+                space=study_space(sram),
+                strategy=GridStrategy(),
+                objectives=STUDY_OBJECTIVES,
+                base_cfg=cfg,
+                jobs=jobs,
+            )
+    return out
+
+
+def report(
+    cfg: Optional[AcceleratorConfig] = None,
+    jobs: Optional[int] = 1,
+    workloads: Optional[Sequence[str]] = None,
+    srams: Optional[Sequence[int]] = None,
+) -> str:
+    results = run(cfg, workloads=workloads, srams=srams, jobs=jobs)
+    rows: List[List[object]] = []
+    for (name, sram), tr in results.items():
+        best = tr.best
+        rows.append([
+            name,
+            sram // MIB,
+            len(tr.evaluations),
+            len(tr.front),
+            best.config,
+            best.point.chord_entries,
+            tr.speedup_over_incumbent(),
+            tr.incumbent.result.dram_bytes / max(1, best.result.dram_bytes),
+        ])
+    table = render_table(
+        ["workload", "SRAM MB", "evals", "front", "best config", "entries",
+         "speedup vs CELLO", "DRAM cut vs CELLO"],
+        rows,
+        title="Co-design autotuning: searched best vs the fixed CELLO point",
+    )
+    # One fully-rendered frontier as a worked example (the narrative
+    # continuation of sec6b): the family whose searched headroom is
+    # largest at the smallest capacity.
+    example_key = max(
+        results,
+        key=lambda k: (results[k].speedup_over_incumbent(), k[0]),
+    )
+    example = render_tune_result(results[example_key])
+    note = (
+        "\nEvery evaluated point is a standard memoised sweep point: a"
+        "\ncache-warm rerun of this study performs zero re-simulations."
+        "\nWhere 'best config' is plain CELLO the paper's fixed co-design"
+        "\npoint is search-optimal; elsewhere the named knobs are free wins."
+    )
+    return table + "\n\n" + example + note
+
+
+def main() -> None:  # pragma: no cover
+    print(report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

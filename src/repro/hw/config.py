@@ -8,7 +8,7 @@ CHORD's metadata table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -104,6 +104,16 @@ class AcceleratorConfig:
             f"BW={self.dram_bandwidth_bytes_per_s / GB:.0f}GB/s, "
             f"clock={self.clock_hz / 1e9:.1f}GHz)"
         )
+
+
+def default_config(cfg: Optional[AcceleratorConfig]) -> AcceleratorConfig:
+    """None-sentinel resolution: a fresh Table V config when ``cfg`` is None.
+
+    Experiment/engine signatures take ``cfg: Optional[AcceleratorConfig] =
+    None`` instead of a shared module-level default instance, so no two
+    callers can ever alias (and accidentally share) one config object.
+    """
+    return AcceleratorConfig() if cfg is None else cfg
 
 
 #: The paper's two evaluated bandwidth points (Table V).

@@ -49,11 +49,11 @@ class Score:
 
     def __init__(
         self,
-        cfg: AcceleratorConfig = DEFAULT_CONFIG,
-        options: ScoreOptions = ScoreOptions(),
+        cfg: Optional[AcceleratorConfig] = None,
+        options: Optional[ScoreOptions] = None,
     ) -> None:
-        self.cfg = cfg
-        self.options = options
+        self.cfg = DEFAULT_CONFIG if cfg is None else cfg
+        self.options = ScoreOptions() if options is None else options
 
     def schedule(self, dag: TensorDag,
                  classified: Optional[ClassifiedDag] = None) -> Schedule:
@@ -86,8 +86,8 @@ class Score:
 
 def schedule_program(
     dag: TensorDag,
-    cfg: AcceleratorConfig = DEFAULT_CONFIG,
-    options: ScoreOptions = ScoreOptions(),
+    cfg: Optional[AcceleratorConfig] = None,
+    options: Optional[ScoreOptions] = None,
 ) -> Schedule:
     """Convenience one-shot: classify + schedule ``dag``."""
     return Score(cfg, options).schedule(dag)

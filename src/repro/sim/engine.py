@@ -45,9 +45,11 @@ class ScheduleEngine:
     """Runs a SCORE :class:`Schedule` against CHORD + pipeline buffer + RF."""
 
     def __init__(self, cfg: AcceleratorConfig,
-                 options: EngineOptions = EngineOptions()) -> None:
+                 options: Optional[EngineOptions] = None) -> None:
         self.cfg = cfg
-        self.options = options
+        # None-sentinel: each engine owns a fresh options instance, so no
+        # two engines ever alias a shared module-level default.
+        self.options = EngineOptions() if options is None else options
         #: The CHORD instance of the most recent ``run`` — kept for
         #: post-mortem auditing (per-tensor traffic, occupancy timeline).
         self.last_chord: Optional[ChordBuffer] = None

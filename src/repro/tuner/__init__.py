@@ -1,0 +1,70 @@
+"""Co-design autotuner: Pareto search over schedule × CHORD configurations.
+
+Sec. VI-B argues CHORD collapses buffer allocation from ~10^80 choices
+to O(nodes + edges) design points; this package *searches* what remains
+— the joint space of SCORE schedule knobs, CHORD/hardware geometry, and
+cache policy for the implicit baselines — and reports the Pareto
+frontier over runtime, DRAM traffic, energy, and buffer area, next to
+the paper's fixed CELLO point.
+
+Quickstart::
+
+    from repro.tuner import GridStrategy, TuneSpace, tune
+    from repro.hw.config import MIB
+
+    result = tune(
+        "gmres/fv1/m=8/N=1",
+        space=TuneSpace(sram_bytes=(4 * MIB, 1 * MIB),
+                        chord_entries=(64, 16),
+                        cache_policies=("LRU", "SRRIP")),
+        strategy=GridStrategy(),
+        objectives=("runtime", "dram", "area"),
+        jobs=4,
+    )
+    print(result.front.describe())
+
+CLI: ``python -m repro tune <workload> [--strategy grid|random|halving]
+[--budget N] [--objectives runtime,dram,…]`` (see ``docs/tuner.md``).
+"""
+
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    FrontEntry,
+    ParetoFront,
+    dominates,
+    objective_values,
+    validate_objectives,
+)
+from .space import TunePoint, TuneSpace
+from .strategies import (
+    STRATEGIES,
+    GridStrategy,
+    HalvingStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+from .tuner import TUNE_SCHEMA_VERSION, TuneEval, TuneResult, tune
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "OBJECTIVES",
+    "FrontEntry",
+    "ParetoFront",
+    "dominates",
+    "objective_values",
+    "validate_objectives",
+    "TunePoint",
+    "TuneSpace",
+    "STRATEGIES",
+    "GridStrategy",
+    "HalvingStrategy",
+    "RandomStrategy",
+    "SearchStrategy",
+    "make_strategy",
+    "TUNE_SCHEMA_VERSION",
+    "TuneEval",
+    "TuneResult",
+    "tune",
+]

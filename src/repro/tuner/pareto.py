@@ -1,0 +1,151 @@
+"""Objectives and the Pareto frontier container.
+
+Every objective is *minimised*.  The four axes mirror what the paper
+trades off across its evaluation sections:
+
+* ``runtime`` — roofline execution time (Figs. 12/13/16);
+* ``dram`` — off-chip traffic in bytes (the Fig. 14 energy proxy);
+* ``energy`` — absolute joules, off-chip + per-structure on-chip
+  (:mod:`repro.sim.energy`);
+* ``area`` — the buffer structure's silicon cost in mm²
+  (:mod:`repro.hw.sram_model`, Fig. 15) — CHORD's data array + RIFF
+  table for CELLO points, data + tag + controller for cache points.
+
+:class:`ParetoFront` keeps the non-dominated subset under insertion
+(dominance pruning): an entry is dropped when an existing entry is at
+least as good on every objective and strictly better on one; inserting a
+dominating entry evicts everything it dominates.  Ties on the full
+objective vector keep the first-seen entry, so fronts are deterministic
+in evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..hw.config import AcceleratorConfig
+from ..hw.sram_model import cache_cost, chord_cost
+from ..sim.energy import energy_of
+from ..sim.results import SimResult
+from .space import TunePoint
+
+
+def _runtime(result: SimResult, cfg: AcceleratorConfig, point: TunePoint) -> float:
+    return result.time_s
+
+
+def _dram(result: SimResult, cfg: AcceleratorConfig, point: TunePoint) -> float:
+    return float(result.dram_bytes)
+
+
+def _energy(result: SimResult, cfg: AcceleratorConfig, point: TunePoint) -> float:
+    return energy_of(result, cfg).total_j
+
+
+def _area(result: SimResult, cfg: AcceleratorConfig, point: TunePoint) -> float:
+    cost = cache_cost(cfg) if point.cache_policy is not None else chord_cost(cfg)
+    return cost.total_mm2
+
+
+#: name -> (result, point-cfg, point) -> objective value (minimise).
+OBJECTIVES: Dict[str, Callable[[SimResult, AcceleratorConfig, TunePoint], float]] = {
+    "runtime": _runtime,
+    "dram": _dram,
+    "energy": _energy,
+    "area": _area,
+}
+
+#: The default trade-off: performance vs off-chip traffic.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("runtime", "dram")
+
+
+def validate_objectives(names: Sequence[str]) -> Tuple[str, ...]:
+    """Normalise an objective list: known names, non-empty, no repeats."""
+    out: List[str] = []
+    for n in names:
+        if n not in OBJECTIVES:
+            raise KeyError(
+                f"unknown objective {n!r}; known: {', '.join(OBJECTIVES)}"
+            )
+        if n not in out:
+            out.append(n)
+    if not out:
+        raise ValueError("at least one objective is required")
+    return tuple(out)
+
+
+def objective_values(
+    names: Sequence[str],
+    result: SimResult,
+    cfg: AcceleratorConfig,
+    point: TunePoint,
+) -> Dict[str, float]:
+    """Evaluate every named objective for one simulated design point."""
+    return {n: OBJECTIVES[n](result, cfg, point) for n in names}
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class FrontEntry:
+    """One non-dominated design point on the frontier."""
+
+    point: TunePoint
+    config: str
+    vector: Tuple[float, ...]
+
+
+class ParetoFront:
+    """Non-dominated set under insertion, with dominance pruning."""
+
+    def __init__(self, objectives: Sequence[str]) -> None:
+        self.objectives = validate_objectives(objectives)
+        self._entries: List[FrontEntry] = []
+
+    def add(self, point: TunePoint, config: str,
+            values: Mapping[str, float]) -> bool:
+        """Offer a point; returns True when it joins the frontier.
+
+        Dominated offers are rejected; accepted offers evict every entry
+        they dominate.  An exact objective-vector tie keeps the incumbent
+        entry (first seen wins) and rejects the offer.
+        """
+        vector = tuple(float(values[n]) for n in self.objectives)
+        for e in self._entries:
+            if dominates(e.vector, vector) or e.vector == vector:
+                return False
+        self._entries = [e for e in self._entries
+                         if not dominates(vector, e.vector)]
+        self._entries.append(FrontEntry(point=point, config=config, vector=vector))
+        return True
+
+    @property
+    def entries(self) -> Tuple[FrontEntry, ...]:
+        """Frontier sorted by the first objective (then the rest)."""
+        return tuple(sorted(self._entries, key=lambda e: e.vector))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def dominated(self, values: Mapping[str, float]) -> bool:
+        """Would this objective mapping be rejected as dominated/tied?"""
+        vector = tuple(float(values[n]) for n in self.objectives)
+        return any(dominates(e.vector, vector) or e.vector == vector
+                   for e in self._entries)
+
+    def describe(self) -> str:
+        parts = [f"ParetoFront({len(self)} points over {'/'.join(self.objectives)})"]
+        for e in self.entries:
+            vals = ", ".join(f"{n}={v:.4g}"
+                             for n, v in zip(self.objectives, e.vector))
+            parts.append(f"  {e.config}: {vals}")
+        return "\n".join(parts)

@@ -1,0 +1,249 @@
+"""The co-design search space: schedule knobs × CHORD/hardware knobs.
+
+Sec. VI-B's argument is that CHORD collapses the *buffer-allocation*
+search from ~10^80 choices to O(nodes + edges) metadata.  What remains
+searchable is the small joint space this module enumerates:
+
+* **schedule knobs** — the SCORE/engine ablation axes (`use_riff`,
+  `explicit_retire`, `charge_swizzle`), encoded into the config *name*
+  (``CELLO[...]``, see :mod:`repro.baselines.configs`) so tuned points
+  flow through the runner's memoisation and the persistent store
+  unchanged;
+* **CHORD/hardware knobs** — RIFF index-table entries, SRAM capacity and
+  line size, all carried by :class:`~repro.hw.config.AcceleratorConfig`
+  (already part of every traffic key);
+* **cache policy** — for the implicit baselines, the ``Flex+<policy>``
+  family (LRU / BRRIP / SRRIP) competes in the same space.
+
+A :class:`TunePoint` is one joint choice; a :class:`TuneSpace` is the
+axis-product strategies search over.  Spaces are tiny by design — that
+is the paper's point — so exhaustive enumeration is always available as
+the ground truth the sampling strategies are tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..baselines.configs import CACHE_POLICIES, cello_variant_name
+from ..hw.config import MIB, AcceleratorConfig
+from ..sim.engine import EngineOptions
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    """One joint (schedule × buffer × hardware) design choice.
+
+    ``cache_policy`` is ``None`` for the CELLO family (schedule knobs
+    apply); a policy name selects the implicit-cache baseline instead, in
+    which case the schedule knobs are meaningless and are normalised to
+    their defaults so equal designs compare (and memoise) equal.
+    """
+
+    use_riff: bool = True
+    explicit_retire: bool = True
+    charge_swizzle: bool = True
+    chord_entries: int = 64
+    sram_bytes: int = 4 * MIB
+    line_bytes: int = 16
+    cache_policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cache_policy is not None:
+            if self.cache_policy not in CACHE_POLICIES:
+                raise ValueError(
+                    f"unknown cache policy {self.cache_policy!r}; "
+                    f"known: {sorted(CACHE_POLICIES)}"
+                )
+            for knob in ("use_riff", "explicit_retire", "charge_swizzle"):
+                object.__setattr__(self, knob, True)
+        if self.chord_entries <= 0 or self.sram_bytes <= 0:
+            raise ValueError("chord_entries and sram_bytes must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+
+    @property
+    def is_cello(self) -> bool:
+        return self.cache_policy is None
+
+    def engine_options(self) -> Optional[EngineOptions]:
+        """The engine ablation switches (None for cache-family points)."""
+        if not self.is_cello:
+            return None
+        return EngineOptions(
+            use_riff=self.use_riff,
+            explicit_retire=self.explicit_retire,
+            charge_swizzle=self.charge_swizzle,
+        )
+
+    def config_name(self) -> str:
+        """The canonical runner/store config name of this point."""
+        if self.cache_policy is not None:
+            return f"Flex+{self.cache_policy}"
+        options = self.engine_options()
+        assert options is not None
+        return cello_variant_name(options)
+
+    def accel_cfg(self, base: AcceleratorConfig) -> AcceleratorConfig:
+        """``base`` with this point's hardware knobs substituted in."""
+        return replace(
+            base,
+            sram_bytes=self.sram_bytes,
+            line_bytes=self.line_bytes,
+            chord_entries=self.chord_entries,
+        )
+
+    def knobs(self) -> Dict[str, object]:
+        """Flat knob dict (reports and serialisation)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_knobs(cls, data: Dict[str, object]) -> "TunePoint":
+        kwargs = dict(data)
+        policy = kwargs.get("cache_policy")
+        kwargs["cache_policy"] = None if policy is None else str(policy)
+        return cls(
+            use_riff=bool(kwargs["use_riff"]),
+            explicit_retire=bool(kwargs["explicit_retire"]),
+            charge_swizzle=bool(kwargs["charge_swizzle"]),
+            chord_entries=int(kwargs["chord_entries"]),  # type: ignore[arg-type]
+            sram_bytes=int(kwargs["sram_bytes"]),  # type: ignore[arg-type]
+            line_bytes=int(kwargs["line_bytes"]),  # type: ignore[arg-type]
+            cache_policy=kwargs["cache_policy"],
+        )
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """Axis-product search space.
+
+    Each axis lists its candidate values with the paper's fixed point
+    *first* — :meth:`default_point` (the incumbent every strategy must
+    evaluate) is the head of every axis.  ``cache_policies`` is empty by
+    default: the co-design question is about CELLO's knobs, and the cache
+    baselines join only when explicitly requested.
+    """
+
+    use_riff: Tuple[bool, ...] = (True, False)
+    explicit_retire: Tuple[bool, ...] = (True, False)
+    charge_swizzle: Tuple[bool, ...] = (True, False)
+    chord_entries: Tuple[int, ...] = (64,)
+    sram_bytes: Tuple[int, ...] = (4 * MIB,)
+    line_bytes: Tuple[int, ...] = (16,)
+    cache_policies: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for axis in ("use_riff", "explicit_retire", "charge_swizzle",
+                     "chord_entries", "sram_bytes", "line_bytes"):
+            values = getattr(self, axis)
+            if not values:
+                raise ValueError(f"axis {axis!r} must list at least one value")
+            if len(set(values)) != len(values):
+                raise ValueError(f"axis {axis!r} has duplicate values")
+        for p in self.cache_policies:
+            if p not in CACHE_POLICIES:
+                raise ValueError(
+                    f"unknown cache policy {p!r}; known: {sorted(CACHE_POLICIES)}"
+                )
+
+    # -- enumeration ---------------------------------------------------------
+
+    def points(self) -> Tuple[TunePoint, ...]:
+        """Every design point, deterministic order, CELLO family first.
+
+        Cache-policy points vary only over the hardware axes that matter
+        to a cache (SRAM, line size) — schedule knobs and the RIFF table
+        are CHORD concepts and stay at their defaults.
+        """
+        out: List[TunePoint] = []
+        for riff, retire, swz, entries, sram, line in itertools.product(
+            self.use_riff, self.explicit_retire, self.charge_swizzle,
+            self.chord_entries, self.sram_bytes, self.line_bytes,
+        ):
+            out.append(TunePoint(
+                use_riff=riff, explicit_retire=retire, charge_swizzle=swz,
+                chord_entries=entries, sram_bytes=sram, line_bytes=line,
+            ))
+        for policy, sram, line in itertools.product(
+            self.cache_policies, self.sram_bytes, self.line_bytes,
+        ):
+            out.append(TunePoint(
+                sram_bytes=sram, line_bytes=line, cache_policy=policy,
+            ))
+        return tuple(out)
+
+    def __len__(self) -> int:
+        cello = (len(self.use_riff) * len(self.explicit_retire)
+                 * len(self.charge_swizzle) * len(self.chord_entries)
+                 * len(self.sram_bytes) * len(self.line_bytes))
+        cache = (len(self.cache_policies) * len(self.sram_bytes)
+                 * len(self.line_bytes))
+        return cello + cache
+
+    def __iter__(self) -> Iterator[TunePoint]:
+        return iter(self.points())
+
+    def __contains__(self, point: TunePoint) -> bool:
+        return point in set(self.points())
+
+    def default_point(self) -> TunePoint:
+        """The incumbent: the paper's fixed CELLO configuration (all
+        schedule knobs on, head value of every hardware axis)."""
+        return TunePoint(
+            chord_entries=self.chord_entries[0],
+            sram_bytes=self.sram_bytes[0],
+            line_bytes=self.line_bytes[0],
+        )
+
+    # -- strategy support ----------------------------------------------------
+
+    def sample(self, rng: random.Random, k: int) -> Tuple[TunePoint, ...]:
+        """``k`` distinct points, uniformly without replacement (the whole
+        space when ``k`` ≥ its size — so a big enough random budget *is*
+        the grid)."""
+        pts = self.points()
+        if k >= len(pts):
+            return pts
+        return tuple(rng.sample(pts, k))
+
+    def neighbors(self, point: TunePoint) -> Tuple[TunePoint, ...]:
+        """Points differing from ``point`` in exactly one axis value
+        (the greedy/halving refinement moves)."""
+        out: List[TunePoint] = []
+        if point.is_cello:
+            axes = {
+                "use_riff": self.use_riff,
+                "explicit_retire": self.explicit_retire,
+                "charge_swizzle": self.charge_swizzle,
+                "chord_entries": self.chord_entries,
+                "sram_bytes": self.sram_bytes,
+                "line_bytes": self.line_bytes,
+            }
+        else:
+            axes = {
+                "cache_policy": self.cache_policies,
+                "sram_bytes": self.sram_bytes,
+                "line_bytes": self.line_bytes,
+            }
+        for axis, values in axes.items():
+            for v in values:
+                if v == getattr(point, axis):
+                    continue
+                out.append(replace(point, **{axis: v}))
+        # Family switch: a CELLO point neighbours the cache points (and
+        # vice versa) at the same SRAM/line geometry.
+        if point.is_cello:
+            for policy in self.cache_policies:
+                out.append(TunePoint(
+                    sram_bytes=point.sram_bytes, line_bytes=point.line_bytes,
+                    cache_policy=policy,
+                ))
+        else:
+            out.append(TunePoint(
+                chord_entries=self.chord_entries[0],
+                sram_bytes=point.sram_bytes, line_bytes=point.line_bytes,
+            ))
+        return tuple(out)

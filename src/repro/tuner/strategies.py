@@ -1,0 +1,182 @@
+"""Search strategies over a :class:`~repro.tuner.space.TuneSpace`.
+
+A strategy decides *which* points to evaluate and in what batches; the
+tuner owns *how* a batch is evaluated (through the orchestrator, warm
+cache first — see :mod:`repro.tuner.tuner`).  The contract:
+
+* ``run(space, evaluate)`` calls ``evaluate(points)`` one batch at a
+  time and returns every evaluation it collected;
+* the incumbent (``space.default_point()``) is always part of the first
+  batch, so the searched best can never lose to the paper's fixed
+  configuration;
+* strategies are deterministic given their seed — the evaluator memoises
+  repeated points, so re-proposing is merely wasteful, never wrong.
+
+Three built-ins cover the sizes that occur in practice: exhaustive
+:class:`GridStrategy` for the small spaces CHORD's co-design argument
+produces, seeded :class:`RandomStrategy` for quick probes of bigger
+products, and :class:`HalvingStrategy` — a greedy successive-halving
+refinement that spends half its budget exploring and the rest walking
+single-knob neighbourhoods of the current Pareto survivors.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
+
+from .pareto import dominates
+from .space import TunePoint, TuneSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .tuner import TuneEval
+
+#: Batch evaluator provided by the tuner: points -> evaluations (memoised,
+#: order-preserving, one orchestrator dispatch per batch).
+Evaluator = Callable[[Sequence[TunePoint]], List["TuneEval"]]
+
+#: Refuse to enumerate absurd grids — the whole point of CHORD is that
+#: real co-design spaces are small (Sec. VI-B).
+MAX_GRID_POINTS = 4096
+
+
+class SearchStrategy(ABC):
+    """Interface every search strategy implements."""
+
+    #: CLI / report identifier (``repro tune --strategy <name>``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, space: TuneSpace, evaluate: Evaluator) -> List["TuneEval"]:
+        """Search ``space``, returning every evaluation performed."""
+
+
+def _first_batch(space: TuneSpace, points: Sequence[TunePoint]) -> List[TunePoint]:
+    """The incumbent first, then ``points`` (deduplicated, order kept)."""
+    out = [space.default_point()]
+    for p in points:
+        if p not in out:
+            out.append(p)
+    return out
+
+
+class GridStrategy(SearchStrategy):
+    """Exhaustive enumeration — exact Pareto ground truth."""
+
+    name = "grid"
+
+    def run(self, space: TuneSpace, evaluate: Evaluator) -> List["TuneEval"]:
+        n = len(space)
+        if n > MAX_GRID_POINTS:
+            raise ValueError(
+                f"grid of {n} points exceeds the {MAX_GRID_POINTS}-point cap; "
+                "use the random or halving strategy for spaces this large"
+            )
+        return evaluate(_first_batch(space, space.points()))
+
+
+class RandomStrategy(SearchStrategy):
+    """Seeded uniform sampling without replacement.
+
+    With ``budget`` at least the space size this degenerates to the grid
+    (sampling without replacement exhausts the space) — the property the
+    grid-vs-random agreement tests pin down.
+    """
+
+    name = "random"
+
+    def __init__(self, budget: int = 32, seed: int = 0) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+        self.seed = seed
+
+    def run(self, space: TuneSpace, evaluate: Evaluator) -> List["TuneEval"]:
+        rng = random.Random(self.seed)
+        sampled = space.sample(rng, self.budget)
+        return evaluate(_first_batch(space, sampled)[: max(self.budget, 1)])
+
+
+class HalvingStrategy(SearchStrategy):
+    """Greedy successive-halving refinement.
+
+    Round 0 samples half the budget at random (incumbent included).
+    Every later round halves attention: the non-dominated survivors of
+    everything seen so far (padded by best-primary-objective entries up
+    to ``survivors``) propose their unevaluated single-knob neighbours,
+    and the best-ranked candidates consume the remaining budget.  Stops
+    when the budget is spent or no survivor has unseen neighbours.
+    """
+
+    name = "halving"
+
+    def __init__(self, budget: int = 32, seed: int = 0,
+                 survivors: int = 4) -> None:
+        if budget <= 0 or survivors <= 0:
+            raise ValueError("budget and survivors must be positive")
+        self.budget = budget
+        self.seed = seed
+        self.survivors = survivors
+
+    def _select(self, evals: List["TuneEval"],
+                objectives: Tuple[str, ...]) -> List["TuneEval"]:
+        """Pareto survivors first, then pad by the primary objective."""
+        vectors = {
+            id(e): tuple(e.objectives[n] for n in objectives) for e in evals
+        }
+        front = [
+            e for e in evals
+            if not any(dominates(vectors[id(o)], vectors[id(e)]) for o in evals)
+        ]
+        front.sort(key=lambda e: vectors[id(e)])
+        if len(front) >= self.survivors:
+            return front[: self.survivors]
+        rest = sorted((e for e in evals if e not in front),
+                      key=lambda e: vectors[id(e)])
+        return front + rest[: self.survivors - len(front)]
+
+    def run(self, space: TuneSpace, evaluate: Evaluator) -> List["TuneEval"]:
+        rng = random.Random(self.seed)
+        explore = max(1, self.budget // 2)
+        batch = _first_batch(space, space.sample(rng, explore))[: max(explore, 1)]
+        evals = evaluate(batch)
+        seen: Dict[TunePoint, None] = {e.point: None for e in evals}
+        remaining = self.budget - len(seen)
+        while remaining > 0 and evals:
+            objectives = tuple(evals[0].objectives)
+            survivors = self._select(evals, objectives)
+            candidates: List[TunePoint] = []
+            for s in survivors:
+                for n in space.neighbors(s.point):
+                    if n not in seen and n not in candidates:
+                        candidates.append(n)
+            if not candidates:
+                break
+            batch = candidates[:remaining]
+            evals = evals + evaluate(batch)
+            for p in batch:
+                seen[p] = None
+            remaining = self.budget - len(seen)
+        return evals
+
+
+#: Registry for the CLI (`repro tune --strategy <name>`).
+STRATEGIES: Dict[str, Callable[..., SearchStrategy]] = {
+    GridStrategy.name: GridStrategy,
+    RandomStrategy.name: RandomStrategy,
+    HalvingStrategy.name: HalvingStrategy,
+}
+
+
+def make_strategy(name: str, budget: int = 32, seed: int = 0) -> SearchStrategy:
+    """Instantiate a strategy by CLI name (budget/seed where applicable)."""
+    if name == GridStrategy.name:
+        return GridStrategy()
+    if name == RandomStrategy.name:
+        return RandomStrategy(budget=budget, seed=seed)
+    if name == HalvingStrategy.name:
+        return HalvingStrategy(budget=budget, seed=seed)
+    raise KeyError(
+        f"unknown strategy {name!r}; known: {', '.join(STRATEGIES)}"
+    )

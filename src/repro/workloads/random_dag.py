@@ -1,0 +1,140 @@
+"""Seeded random einsum-DAG generator (property-test / tuner fuzzing).
+
+The curated workload families exercise *specific* reuse signatures; the
+property suites and the tuner's random-strategy tests need the opposite —
+arbitrary-but-valid :class:`~repro.core.dag.TensorDag` programs whose
+shape is controllable and exactly reproducible from a seed.  The
+generator grows a DAG op by op:
+
+* **matmul ops** contract a shared rank: ``O[a,c] += T[a,b] * W[b,c]``,
+  where ``W`` is either a fresh program input or an existing tensor whose
+  leading rank matches (creating re-reads at growing distances);
+* **element-wise ops** combine one or two same-shape tensors (creating
+  short-distance reuse and accumulation-style chains).
+
+Three dials steer the topology:
+
+``fanout``
+    How strongly operand choice favours *older* tensors.  High fan-out
+    re-reads early tensors from many later ops (delayed-reuse pressure —
+    the GMRES signature); low fan-out chains recent outputs (depth).
+``skew``
+    Rank-extent spread: extents are ``4 * 2**U(0, skew)``, so ``skew=0``
+    is square/uniform and larger values produce the skewed operands of
+    Sec. III-A.
+``n_ops``
+    Program length (reuse distances scale with it).
+
+Every rank extent is a multiple of 4 and every tensor is dense 2-D with
+4-byte words, so tensor footprints are multiples of 64 bytes — in
+particular line-aligned for the default 16-byte line, which the engine
+property tests assert DRAM traffic against.
+
+The family is registry-resolvable (``rand/s=<seed>/ops=<n>/f=<fanout>/
+k=<skew>``) so random DAGs can ride the orchestrator's parallel workers
+and the persistent result store like any curated workload, but it is
+deliberately *not* enumerated by ``all_workloads()`` — the gallery in
+``docs/workloads.md`` documents real families, not fuzz inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.dag import TensorDag
+from ..core.einsum import EinsumOp, OpKind
+from ..core.ranks import Rank
+from ..core.tensor import TensorSpec, dense_tensor
+
+
+@dataclass(frozen=True)
+class RandomDagProblem:
+    """Parameters of one random einsum program (all encoded in the
+    registry name, so equal problems ⇒ equal DAGs)."""
+
+    seed: int = 0
+    n_ops: int = 12
+    fanout: int = 2     # 0 = pure chain; larger = more re-reads of old tensors
+    skew: int = 2       # extents drawn from 4 * 2**U(0, skew)
+
+    def __post_init__(self) -> None:
+        if self.n_ops <= 0:
+            raise ValueError("n_ops must be positive")
+        if self.fanout < 0 or self.skew < 0:
+            raise ValueError("fanout and skew must be non-negative")
+
+
+def _extent(rng: random.Random, skew: int) -> int:
+    """A rank extent: multiple of 4, spread controlled by ``skew``."""
+    return 4 * 2 ** rng.randint(0, skew)
+
+
+def build_random_dag(problem: RandomDagProblem) -> TensorDag:
+    """Deterministically grow a valid random einsum DAG."""
+    rng = random.Random(problem.seed)
+    dag = TensorDag()
+    n_ranks = 0
+    n_inputs = 0
+
+    def fresh_rank(size: int) -> Rank:
+        nonlocal n_ranks
+        n_ranks += 1
+        return Rank(f"r{n_ranks}", size)
+
+    def fresh_input(rank0: Optional[Rank] = None) -> TensorSpec:
+        nonlocal n_inputs
+        n_inputs += 1
+        r0 = rank0 if rank0 is not None else fresh_rank(_extent(rng, problem.skew))
+        return dense_tensor(f"in{n_inputs}",
+                            (r0, fresh_rank(_extent(rng, problem.skew))))
+
+    def pick(tensors: List[TensorSpec]) -> TensorSpec:
+        """Operand choice: ``fanout`` biases toward older tensors."""
+        if len(tensors) == 1 or problem.fanout == 0:
+            return tensors[-1]
+        if rng.random() < problem.fanout / (problem.fanout + 1):
+            return tensors[rng.randrange(len(tensors))]
+        return tensors[-1]
+
+    live: List[TensorSpec] = [fresh_input()]
+    for i in range(problem.n_ops):
+        left = pick(live)
+        if rng.random() < 0.3:
+            # Element-wise: combine with a same-shape tensor when one
+            # exists, else a unary map.
+            mates = [t for t in live
+                     if t.ranks == left.ranks and t.name != left.name]
+            inputs: Tuple[TensorSpec, ...] = (left,)
+            if mates:
+                inputs = (left, pick(mates))
+            out = dense_tensor(f"t{i}", left.ranks)
+            op = EinsumOp(
+                name=f"op{i}:ew", inputs=inputs, output=out,
+                kind=OpKind.ELEMENTWISE,
+            )
+        else:
+            # Matmul contracting ``left``'s trailing rank.  Reuse an
+            # existing compatible tensor when possible (fan-out), else
+            # pull in a fresh program input.
+            contracted = left.ranks[-1]
+            # A reusable right operand must lead with the contracted rank
+            # and trail with a rank that is neither the contracted one nor
+            # the output's row rank — otherwise the contraction would
+            # re-mention a contracted/duplicate rank on the output.
+            mates = [t for t in live
+                     if t.ranks[0] == contracted and t.name != left.name
+                     and t.ranks[-1] not in (contracted, left.ranks[0])]
+            right = pick(mates) if mates and rng.random() < 0.5 else fresh_input(contracted)
+            # Every tensor carries two distinct rank names by construction,
+            # and ``right``'s trailing rank is always fresh, so the output
+            # never re-mentions the contracted rank.
+            out = dense_tensor(f"t{i}", (left.ranks[0], right.ranks[-1]))
+            op = EinsumOp(
+                name=f"op{i}:mm", inputs=(left, right), output=out,
+                contracted=(contracted.name,),
+            )
+        dag.add_op(op)
+        live.append(out)
+    return dag

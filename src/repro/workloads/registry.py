@@ -37,6 +37,7 @@ from .matrices import (
     MatrixSpec,
 )
 from .multigrid import MultigridProblem, build_multigrid_dag
+from .random_dag import RandomDagProblem, build_random_dag
 from .resnet import ResNetBlockProblem, build_resnet_block_dag
 from .transformer import TransformerProblem, build_transformer_dag
 
@@ -198,6 +199,29 @@ def multigrid_workload(matrix: MatrixSpec, n: int = 1,
     )
 
 
+def random_dag_workload(seed: int, n_ops: int = 12, fanout: int = 2,
+                        skew: int = 2) -> Workload:
+    """Seeded random einsum DAG — fuzzing family (not in the paper).
+
+    Name grammar ``rand/s=<seed>/ops=<n_ops>/f=<fanout>/k=<skew>`` (every
+    parameter always present, so the name round-trips exactly).  Resolvable
+    so property/differential tests can push random DAGs through the
+    orchestrator's parallel workers, but deliberately absent from
+    ``all_workloads()`` — fuzz inputs do not belong in the documented
+    evaluation matrix (see :mod:`repro.workloads.random_dag`).
+    """
+    problem = RandomDagProblem(seed=seed, n_ops=n_ops, fanout=fanout, skew=skew)
+    return Workload(
+        name=f"rand/s={seed}/ops={n_ops}/f={fanout}/k={skew}",
+        family="rand",
+        build=lambda: build_random_dag(problem),
+        description=(
+            f"random einsum DAG (seed={seed}, {n_ops} ops, "
+            f"fanout={fanout}, skew={skew})"
+        ),
+    )
+
+
 def all_cg_workloads() -> Tuple[Workload, ...]:
     """Fig. 12's grid: 3 datasets × N ∈ {1, 16}."""
     return tuple(
@@ -240,6 +264,7 @@ def all_workloads() -> Dict[str, Workload]:
 
 
 _SOLVER_NAME = re.compile(r"(cg|bicgstab)/([^/]+)/N=(\d+)(?:@it(\d+))?\Z")
+_RAND_NAME = re.compile(r"rand/s=(\d+)/ops=(\d+)/f=(\d+)/k=(\d+)\Z")
 _XFORMER_NAME = re.compile(r"xformer/s=(\d+)/d=(\d+)(?:@x(\d+))?\Z")
 _GMRES_NAME = re.compile(r"gmres/([^/]+)/m=(\d+)/N=(\d+)(?:@rs(\d+))?\Z")
 _MG_NAME = re.compile(r"mg/([^/]+)/N=(\d+)(?:@cyc(\d+))?\Z")
@@ -305,6 +330,10 @@ def resolve_workload(name: str) -> Workload:
             _dataset(matrix_name, name), n=int(n),
             cycles=int(cyc) if cyc else MG_CYCLES,
         )
+    m = _RAND_NAME.match(name)
+    if m:
+        seed, n_ops, fanout, skew = (int(g) for g in m.groups())
+        return random_dag_workload(seed, n_ops=n_ops, fanout=fanout, skew=skew)
     raise KeyError(f"cannot resolve workload name {name!r}")
 
 

@@ -54,14 +54,31 @@ class TestDocs:
         assert any("'cg/fv1/N=1'" in e for e in errors)
         assert not any("'cg/fv1/N=16'" in e for e in errors)
 
+    def test_every_doc_reachable_from_entry_points(self):
+        assert _checker().check_docs_reachable() == []
+
+    def test_checker_catches_orphaned_doc(self, tmp_path, monkeypatch):
+        mod = _checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("[arch](docs/architecture.md)\n")
+        (tmp_path / "docs" / "architecture.md").write_text("# arch\n")
+        (tmp_path / "docs" / "orphan.md").write_text("# nobody links here\n")
+        monkeypatch.setattr(mod, "REPO_ROOT", tmp_path)
+        errors = mod.check_docs_reachable()
+        assert len(errors) == 1 and "orphan.md" in errors[0]
+
     def test_key_docs_exist(self):
         for rel in ("README.md", "PAPER.md", "docs/architecture.md",
-                    "docs/workloads.md", "docs/extending.md"):
+                    "docs/workloads.md", "docs/extending.md",
+                    "docs/tuner.md", "docs/testing.md"):
             assert (REPO_ROOT / rel).is_file(), rel
 
     def test_cross_links_present(self):
         readme = (REPO_ROOT / "README.md").read_text()
         assert "docs/workloads.md" in readme
         assert "docs/extending.md" in readme
+        assert "docs/tuner.md" in readme
+        assert "docs/testing.md" in readme
         arch = (REPO_ROOT / "docs" / "architecture.md").read_text()
         assert "extending.md" in arch and "workloads.md" in arch
+        assert "tuner.md" in arch and "testing.md" in arch

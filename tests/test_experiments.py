@@ -17,6 +17,7 @@ from repro.experiments import (
     table01_hpcg,
     table02_schedulers,
     table03_buffers,
+    tune_study,
 )
 from repro.hw.config import AcceleratorConfig
 from repro.workloads.matrices import FV1
@@ -179,3 +180,29 @@ class TestFig08:
 
     def test_report(self):
         assert "advantage" in fig08_multinode.report()
+
+
+class TestTuneStudy:
+    #: Small stand-ins: one Table VI family, one extension family.
+    WORKLOADS = ("cg/fv1/N=16@it2", "gmres/fv1/m=3/N=1")
+    SRAMS = (1024 * 1024, 4 * 1024 * 1024)
+
+    def test_searched_best_never_loses_to_fixed_cello(self):
+        results = tune_study.run(CFG, workloads=self.WORKLOADS,
+                                 srams=self.SRAMS)
+        assert set(results) == {
+            (w, s) for w in self.WORKLOADS for s in self.SRAMS
+        }
+        for tr in results.values():
+            assert tr.best.result.time_s <= tr.incumbent.result.time_s
+            assert tr.speedup_over_incumbent() >= 1.0
+            assert len(tr.evaluations) == len(tune_study.study_space(1))
+
+    def test_report_renders_comparison_and_example_front(self):
+        text = tune_study.report(CFG, workloads=self.WORKLOADS,
+                                 srams=self.SRAMS)
+        assert "searched best vs the fixed CELLO point" in text
+        assert "zero re-simulations" in text
+        assert "Tuned " in text  # the worked-example frontier
+        for w in self.WORKLOADS:
+            assert w in text

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Dependency-free line-coverage gate for the tier-1 suite.
+
+CI runs the real thing (``pytest --cov=repro --cov-fail-under=...`` in the
+``coverage`` job); this tool reproduces the measurement with nothing but
+the standard library so the ratchet can be checked in any environment —
+including the bare container this repo is developed in, where ``pip
+install`` is unavailable.
+
+Method: a ``sys.settrace`` hook that declines to trace any frame outside
+``src/repro`` (so the suite's own machinery and numpy hot loops run at
+full speed), recording executed ``(file, line)`` pairs.  The denominator
+is the set of *executable* lines per file, read from the compiled code
+objects' ``co_lines()`` tables, minus statements annotated ``# pragma:
+no cover`` (whole block when the annotation sits on a ``def``/``class``/
+``if`` header, matching coverage.py's convention).
+
+Numbers track coverage.py closely but not exactly (it excludes a few
+more compiler artefacts), so the CI floor should be ratcheted from the
+``pytest-cov`` report and this tool's ``--fail-under`` kept a point or
+two beneath its own measurement.
+
+Usage::
+
+    python tools/check_coverage.py                  # measure + report
+    python tools/check_coverage.py --fail-under 80  # gate (exit 1 below)
+    python tools/check_coverage.py --top 15         # worst-covered files
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+PRAGMA = "pragma: no cover"
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """Executable line numbers of ``path`` per its compiled code objects,
+    minus ``# pragma: no cover`` statements/blocks."""
+    source = path.read_text(encoding="utf-8")
+    code = compile(source, str(path), "exec")
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _, _, line in co.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in co.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+
+    src_lines = source.split("\n")
+    excluded: Set[int] = set()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None:
+            continue
+        if not isinstance(node, ast.stmt):
+            continue
+        header = src_lines[lineno - 1]
+        if PRAGMA in header:
+            excluded.update(range(lineno, end + 1))
+    return lines - excluded
+
+
+def collect_targets() -> Dict[str, Set[int]]:
+    return {
+        str(p): executable_lines(p)
+        for p in sorted(SRC_ROOT.rglob("*.py"))
+    }
+
+
+def run_suite_traced(pytest_args: Tuple[str, ...]) -> Tuple[Dict[str, Set[int]], int]:
+    """Run pytest in-process under the selective tracer."""
+    hit: Dict[str, Set[int]] = {}
+    prefix = str(SRC_ROOT)
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            hit_file = hit.get(frame.f_code.co_filename)
+            if hit_file is not None:
+                hit_file.add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None
+        if filename not in hit:
+            hit[filename] = set()
+        hit[filename].add(frame.f_lineno)
+        return local_trace
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import pytest  # deferred: the tracer must not time pytest's import
+
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        status = pytest.main(["-q", "-p", "no:cacheprovider",
+                              str(REPO_ROOT / "tests"), *pytest_args])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return hit, int(status)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fail-under", type=float, default=None, metavar="PCT",
+                        help="exit 1 when total line coverage is below PCT")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="show the N worst-covered files (default 10)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest")
+    args = parser.parse_args()
+
+    targets = collect_targets()
+    hit, status = run_suite_traced(tuple(args.pytest_args))
+    if status != 0:
+        print(f"check_coverage: test suite failed (exit {status}); "
+              "coverage not evaluated", file=sys.stderr)
+        return status
+
+    total_exec = total_hit = 0
+    per_file = []
+    for filename, lines in targets.items():
+        covered = len(lines & hit.get(filename, set()))
+        total_exec += len(lines)
+        total_hit += covered
+        pct = 100.0 * covered / len(lines) if lines else 100.0
+        per_file.append((pct, filename, covered, len(lines)))
+
+    per_file.sort()
+    print(f"\nworst-covered files (of {len(per_file)}):")
+    for pct, filename, covered, n in per_file[: args.top]:
+        rel = Path(filename).relative_to(REPO_ROOT)
+        print(f"  {pct:6.1f}%  {covered:5d}/{n:<5d}  {rel}")
+
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"\nTOTAL: {total_hit}/{total_exec} lines = {total_pct:.2f}%")
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(f"check_coverage: FAILED — {total_pct:.2f}% is below the "
+              f"{args.fail_under:.2f}% floor", file=sys.stderr)
+        return 1
+    if args.fail_under is not None:
+        print(f"check_coverage: ok (floor {args.fail_under:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,7 @@
 """Docs consistency checker (run by the CI ``docs`` job and the tier-1
 test ``tests/test_docs.py``).
 
-Two checks:
+Three checks:
 
 1. **Links** — every intra-repo markdown link in the repository's
    ``*.md`` files (root + ``docs/``) must point at a file that exists.
@@ -12,6 +12,9 @@ Two checks:
    ``repro.workloads.registry.all_workloads()`` must appear verbatim in
    ``docs/workloads.md``, so the gallery can never silently fall behind
    the registry.
+3. **Docs reachability** — every file in ``docs/`` must be linked from
+   ``README.md`` or ``docs/architecture.md``, so new documents (e.g.
+   ``docs/tuner.md``, ``docs/testing.md``) can never be orphaned.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -81,8 +84,32 @@ def check_workload_coverage() -> List[str]:
     ]
 
 
+def check_docs_reachable() -> List[str]:
+    """Return one error string per docs/ file no entry point links to."""
+    entry_points = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+    linked: set = set()
+    for md in entry_points:
+        if not md.is_file():
+            continue
+        for match in _LINK.finditer(md.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or "<" in target:
+                continue
+            path = target.split("#", 1)[0]
+            if path:
+                linked.add((md.parent / path).resolve())
+    errors = []
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if doc.resolve() in linked or doc.name == "architecture.md":
+            continue
+        errors.append(
+            f"docs/{doc.name}: not linked from README.md or docs/architecture.md"
+        )
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_workload_coverage()
+    errors = check_links() + check_workload_coverage() + check_docs_reachable()
     if errors:
         print("docs check FAILED:")
         for e in errors:
