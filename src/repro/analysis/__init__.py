@@ -24,6 +24,12 @@ from .roofline import (
     result_on_roofline,
     roofline_for,
 )
+from .service_report import (
+    render_jobs,
+    render_service_stats,
+    summarize_sweep_outcome,
+    sweep_outcome_rows,
+)
 from .tuner_report import render_tune_result, tune_results_json
 
 __all__ = [
@@ -48,4 +54,8 @@ __all__ = [
     "simulate_cg_scaling",
     "render_tune_result",
     "tune_results_json",
+    "render_jobs",
+    "render_service_stats",
+    "summarize_sweep_outcome",
+    "sweep_outcome_rows",
 ]

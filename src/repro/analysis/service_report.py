@@ -1,0 +1,107 @@
+"""Rendering for the service CLI verbs: job tables, server stats,
+sweep-outcome summaries.
+
+The service streams JSON; these helpers turn the client-side views into
+the same aligned plain-text tables every other ``repro`` report uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..hw.config import GB, MIB
+from .report import render_table
+
+
+def render_jobs(jobs: Sequence[Mapping[str, object]]) -> str:
+    """The ``repro jobs`` table: one row per tracked job."""
+    if not jobs:
+        return "no jobs tracked (submit one with 'repro submit')"
+    rows = []
+    for j in jobs:
+        rows.append([
+            str(j.get("id", "?")),
+            str(j.get("kind", "?")),
+            str(j.get("state", "?")),
+            f"{j.get('done', 0)}/{j.get('total', 0)}",
+            int(j.get("simulations", 0)),  # type: ignore[arg-type]
+            int(j.get("hits", 0)),  # type: ignore[arg-type]
+            int(j.get("coalesced", 0)),  # type: ignore[arg-type]
+            float(j.get("elapsed_s", 0.0)),  # type: ignore[arg-type]
+            str(j.get("error") or j.get("summary", "")),
+        ])
+    return render_table(
+        ["job", "kind", "state", "points", "sims", "hits", "coal",
+         "elapsed s", "summary"],
+        rows,
+        title=f"Jobs: {len(rows)}",
+    )
+
+
+def render_service_stats(stats: Mapping[str, object]) -> str:
+    """The ``repro jobs --stats`` report: throughput + store contents."""
+    uptime = float(stats.get("uptime_s", 0.0))  # type: ignore[arg-type]
+    points = int(stats.get("points_streamed", 0))  # type: ignore[arg-type]
+    sims = int(stats.get("simulations", 0))  # type: ignore[arg-type]
+    pool = dict(stats.get("pool") or {})  # type: ignore[arg-type]
+    jobs = dict(stats.get("jobs") or {})  # type: ignore[arg-type]
+    per_s = points / uptime if uptime > 0 else 0.0
+    # `sims` is the server-wide counter and includes tune evaluations,
+    # which stream no points — clamp so the ratio stays meaningful.
+    dedup = max(0.0, 1.0 - sims / points) if points > 0 else 0.0
+    lines = [
+        "Service stats",
+        f"  uptime:          {uptime:.1f} s",
+        f"  jobs:            "
+        + (", ".join(f"{n} {state}" for state, n in sorted(jobs.items()))
+           or "none"),
+        f"  points streamed: {points} ({per_s:.2f} points/s)",
+        f"  simulations:     {sims} "
+        f"({dedup:.0%} answered without simulating)",
+        f"  queue depth:     {stats.get('queue_depth', 0)} "
+        f"(+{stats.get('in_flight', 0)} in flight)",
+        f"  pool:            {pool.get('jobs', 1)} worker(s), "
+        f"{pool.get('batches', 0)} batches / "
+        f"{pool.get('payloads', 0)} payloads"
+        + (" [broken: serial fallback]" if pool.get("broken") else ""),
+    ]
+    store = stats.get("store")
+    if store is None:
+        lines.append("  store:           disabled")
+    else:
+        store = dict(store)  # type: ignore[arg-type]
+        lines.append(
+            f"  store:           {store.get('entries', 0)} entries "
+            f"(schema v{store.get('schema_version', '?')}) "
+            f"at {store.get('directory', '?')}")
+        workloads: Dict[str, int] = dict(store.get("workloads") or {})
+        for name, count in workloads.items():
+            lines.append(f"    {name:30s} {count}")
+    return "\n".join(lines)
+
+
+def sweep_outcome_rows(points: Sequence[object]) -> List[List[object]]:
+    """Table rows for streamed sweep points (mirrors ``repro sweep``)."""
+    rows: List[List[object]] = []
+    for p in points:
+        r = p.result  # type: ignore[attr-defined]
+        rows.append([
+            p.workload,  # type: ignore[attr-defined]
+            p.config,  # type: ignore[attr-defined]
+            p.sram_bytes / MIB,  # type: ignore[attr-defined]
+            p.bandwidth_bytes_per_s / GB,  # type: ignore[attr-defined]
+            r.dram_bytes / 1e6,
+            r.throughput_gmacs,
+            "mem" if r.memory_bound else "compute",
+        ])
+    return rows
+
+
+def summarize_sweep_outcome(outcome: object) -> str:
+    """One grep-friendly summary line per finished sweep job."""
+    return (f"job {outcome.job_id}: "  # type: ignore[attr-defined]
+            f"{len(outcome.points)} points  "  # type: ignore[attr-defined]
+            f"simulations: {outcome.simulations}  "  # type: ignore[attr-defined]
+            f"warm hits: {outcome.hits}  "  # type: ignore[attr-defined]
+            f"coalesced: {outcome.coalesced}  "  # type: ignore[attr-defined]
+            f"elapsed: {outcome.elapsed_s:.3f}s")  # type: ignore[attr-defined]

@@ -150,6 +150,18 @@ def is_known_config(name: str) -> bool:
     return parse_cello_variant(name) is not None
 
 
+def unknown_config_error(configs) -> "str | None":
+    """The shared user-facing message for unrecognised config names, or
+    ``None`` when every name is runnable (used verbatim by the sweep CLI,
+    the submit CLI and the service protocol, so the three never drift)."""
+    unknown = [c for c in configs if not is_known_config(c)]
+    if not unknown:
+        return None
+    return (f"unknown config(s): {', '.join(unknown)}; "
+            f"known: {', '.join(config_names())} plus Flex+SRRIP and "
+            "CELLO[...] schedule variants")
+
+
 def run_config(
     name: str,
     dag: TensorDag,

@@ -20,6 +20,7 @@ without re-simulating.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..hw.config import AcceleratorConfig, default_config
@@ -32,6 +33,10 @@ from .configs import MAIN_CONFIGS, run_config
 _CACHE: Dict[Tuple, SimResult] = {}
 _STORE: Optional[ResultStore] = None
 _SIMULATIONS = 0
+#: The service daemon simulates on worker threads; the counter update is
+#: a read-modify-write, so it takes a lock (dict tiers are single-op
+#: atomic under the GIL and need none).
+_SIM_LOCK = threading.Lock()
 
 
 def clear_cache() -> None:
@@ -62,9 +67,10 @@ def reset_simulation_count() -> None:
 def count_simulations(n: int = 1) -> None:
     """Attribute ``n`` simulations (used by parallel workers' parent)."""
     global _SIMULATIONS
-    _SIMULATIONS += n
-    if _STORE is not None:
-        _STORE.simulations += n
+    with _SIM_LOCK:
+        _SIMULATIONS += n
+        if _STORE is not None:
+            _STORE.simulations += n
 
 
 def _traffic_key(config: str, workload: Workload, cfg: AcceleratorConfig,

@@ -14,6 +14,10 @@ Usage::
     python -m repro cache stat           # persistent-cache hit counters
     python -m repro cache clear
     python -m repro bench --quick        # hot-path kernels -> BENCH_kernels.json
+    python -m repro serve                # long-lived simulation service
+    python -m repro submit --workloads 'cg/*' --configs CELLO
+    python -m repro submit --tune gmres/fv1/m=8/N=1
+    python -m repro jobs [--stats|--cancel ID|--shutdown]
 
 Experiment and sweep runs read/write an on-disk result store
 (``~/.cache/repro`` by default; override with ``--cache-dir`` or the
@@ -31,7 +35,7 @@ from typing import Callable, Dict, List, Optional
 
 from .analysis.report import render_table
 from .baselines import runner
-from .baselines.configs import MAIN_CONFIGS, config_names, is_known_config
+from .baselines.configs import MAIN_CONFIGS, config_names
 from .experiments import (
     ext_workloads,
     fig01_fig07_dag,
@@ -108,6 +112,9 @@ def list_experiments() -> str:
     lines.append("  tune     co-design autotuner: Pareto search per workload")
     lines.append("  cache    persistent result cache: stat | clear")
     lines.append("  bench    time simulator hot paths, write BENCH_kernels.json")
+    lines.append("  serve    run the simulation service daemon (docs/service.md)")
+    lines.append("  submit   send a sweep or tune job to a running service")
+    lines.append("  jobs     list service jobs; --stats, --cancel, --shutdown")
     return "\n".join(lines)
 
 
@@ -216,6 +223,17 @@ def _split_configs(text: str) -> List[str]:
     return out
 
 
+def _check_configs(configs: List[str]) -> bool:
+    """Validate Table IV config names; prints the error for the caller."""
+    from .baselines.configs import unknown_config_error
+
+    error = unknown_config_error(configs)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return False
+    return True
+
+
 def _sweep_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro sweep",
@@ -243,11 +261,7 @@ def _sweep_main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
 
     configs = _split_configs(args.configs)
-    unknown = [c for c in configs if not is_known_config(c)]
-    if unknown:
-        print(f"unknown config(s): {', '.join(unknown)}; "
-              f"known: {', '.join(config_names())} plus Flex+SRRIP and "
-              "CELLO[...] schedule variants", file=sys.stderr)
+    if not _check_configs(configs):
         return 2
 
     spec = SweepSpec(
@@ -447,6 +461,225 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _add_service_addr_args(parser: argparse.ArgumentParser) -> None:
+    from .service.protocol import DEFAULT_HOST, default_port
+
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST, metavar="HOST",
+        help=f"service address (default {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port", type=int, default=default_port(), metavar="PORT",
+        help="service port (default $REPRO_SERVICE_PORT or 8642)",
+    )
+
+
+def _serve_main(argv: List[str]) -> int:
+    import asyncio
+
+    from .service import SimulationService
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the simulation service: a long-lived daemon with "
+                    "a resident result store and pre-warmed worker pool "
+                    "(protocol/ops: docs/service.md).",
+    )
+    _add_service_addr_args(parser)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=0, metavar="N",
+        help="simulation worker processes (0 = one per core; default 0)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent result-store directory (default ~/.cache/repro "
+             "or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve from memory only; nothing persists across restarts",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="bounded simulation-queue depth (backpressure; default 1024)",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=20.0, metavar="MS",
+        help="how long the dispatcher waits to batch concurrent clients' "
+             "points together (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    service = SimulationService(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        use_store=not args.no_cache,
+        jobs=None if args.jobs == 0 else max(1, args.jobs),
+        max_pending=args.max_pending,
+        batch_window_s=args.batch_window_ms / 1000.0,
+    )
+    try:
+        asyncio.run(service.run(announce=print))
+    except KeyboardInterrupt:
+        print("repro service interrupted; shutting down", file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _submit_main(argv: List[str]) -> int:
+    from .analysis.service_report import (
+        summarize_sweep_outcome,
+        sweep_outcome_rows,
+    )
+    from .service import JobFailed, ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a sweep (default) or tune job to a running "
+                    "'repro serve' daemon and stream its results.",
+    )
+    _add_service_addr_args(parser)
+    parser.add_argument(
+        "--workloads", default=None, metavar="PATTERNS",
+        help="comma-separated registry names or fnmatch patterns for a "
+             "sweep job (e.g. 'cg/*,gnn/cora')",
+    )
+    parser.add_argument(
+        "--configs", default=",".join(MAIN_CONFIGS), metavar="NAMES",
+        help="comma-separated Table IV configs (default: main five)",
+    )
+    parser.add_argument(
+        "--sram-mb", default="", metavar="MBS",
+        help="comma-separated SRAM sizes in MiB (default: 4)",
+    )
+    parser.add_argument(
+        "--bandwidth-gb", default="", metavar="GBS",
+        help="comma-separated DRAM bandwidths in GB/s (default: 1000)",
+    )
+    parser.add_argument(
+        "--tune", metavar="WORKLOAD", default=None,
+        help="submit a tune job for this workload instead of a sweep",
+    )
+    parser.add_argument(
+        "--strategy", default="grid", metavar="NAME",
+        help="tune search strategy (default grid)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=32, metavar="N",
+        help="tune evaluation budget for random/halving (default 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="tune sampling seed (default 0)",
+    )
+    parser.add_argument(
+        "--entries", default="64", metavar="NS",
+        help="tune: comma-separated RIFF index-table sizes (default 64)",
+    )
+    parser.add_argument(
+        "--tune-sram-mb", default="4", metavar="MBS",
+        help="tune: comma-separated SRAM capacities in MiB (default 4)",
+    )
+    parser.add_argument(
+        "--include-baselines", action="store_true",
+        help="tune: add Flex+LRU/BRRIP/SRRIP cache policies to the space",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tune is None and args.workloads is None:
+        print("nothing to submit: pass --workloads PATTERNS (sweep) or "
+              "--tune WORKLOAD", file=sys.stderr)
+        return 2
+
+    configs = _split_configs(args.configs)
+    if args.tune is None and not _check_configs(configs):
+        return 2
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            if args.tune is not None:
+                from .analysis.tuner_report import render_tune_result
+                from .tuner import TuneResult
+
+                data = client.submit_tune(
+                    args.tune,
+                    strategy=args.strategy,
+                    budget=args.budget,
+                    seed=args.seed,
+                    sram_mb=_parse_floats(args.tune_sram_mb) or [4.0],
+                    entries=[int(e) for e in _parse_floats(args.entries)]
+                    or [64],
+                    include_baselines=args.include_baselines,
+                )
+                print(render_tune_result(TuneResult.from_dict(data)))
+                return 0
+            outcome = client.submit_sweep(
+                workloads=[w for w in args.workloads.split(",")
+                           if w.strip()],
+                configs=configs,
+                sram_mb=_parse_floats(args.sram_mb),
+                bandwidth_gb=_parse_floats(args.bandwidth_gb),
+            )
+    except (ServiceError, JobFailed) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_table(
+        ["workload", "config", "SRAM MB", "BW GB/s", "DRAM MB", "GMAC/s",
+         "bound"],
+        sweep_outcome_rows(outcome.points),
+        title=f"Sweep job {outcome.job_id}: {len(outcome.points)} points",
+    ))
+    print(summarize_sweep_outcome(outcome))
+    return 0
+
+
+def _jobs_main(argv: List[str]) -> int:
+    from .analysis.service_report import render_jobs, render_service_stats
+    from .service import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="Inspect a running 'repro serve' daemon: list jobs "
+                    "(default), show stats, cancel a job, or shut it down.",
+    )
+    _add_service_addr_args(parser)
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="show server throughput / store / pool counters instead",
+    )
+    parser.add_argument(
+        "--cancel", metavar="JOB", default=None,
+        help="cancel the given running job id",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the service to shut down cleanly",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            if args.cancel is not None:
+                client.cancel(args.cancel)
+                print(f"cancelled {args.cancel}")
+            elif args.shutdown:
+                client.shutdown()
+                print("service shutting down")
+            elif args.stats:
+                print(render_service_stats(client.stats()))
+            else:
+                print(render_jobs(client.jobs()))
+    except ServiceError as exc:
+        print(f"jobs query failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "list-workloads":
@@ -460,6 +693,12 @@ def main(argv: list | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        return _jobs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -467,8 +706,9 @@ def main(argv: list | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (e.g. fig12 table2), 'all', or 'list'; "
-             "see also the 'sweep', 'tune', 'cache' and 'bench' subcommands",
+        help="experiment ids (e.g. fig12 table2), 'all', or 'list'; see "
+             "also the 'sweep', 'tune', 'cache', 'bench', 'serve', "
+             "'submit' and 'jobs' subcommands",
     )
     _add_cache_args(parser)
     args = parser.parse_args(argv)

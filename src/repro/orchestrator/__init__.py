@@ -23,19 +23,30 @@ Quickstart::
     results = run_sweep(spec, jobs=4)
 """
 
-from .parallel import default_jobs, prewarm, run_points, run_sweep
+from .parallel import (
+    OrchestratorPool,
+    default_jobs,
+    get_shared_pool,
+    prewarm,
+    run_points,
+    run_sweep,
+    set_shared_pool,
+)
 from .spec import SweepPoint, SweepSpec
 from .store import SCHEMA_VERSION, ResultStore, default_cache_dir, result_key
 
 __all__ = [
     "SCHEMA_VERSION",
+    "OrchestratorPool",
     "ResultStore",
     "SweepPoint",
     "SweepSpec",
     "default_cache_dir",
     "default_jobs",
+    "get_shared_pool",
     "prewarm",
     "result_key",
     "run_points",
     "run_sweep",
+    "set_shared_pool",
 ]

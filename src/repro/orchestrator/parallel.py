@@ -15,12 +15,20 @@ Two guarantees:
 * **Graceful fallback** — any failure to parallelise (no ``fork``/
   semaphore support in the sandbox, unpicklable payload, broken pool)
   degrades to the serial path rather than erroring.
+
+One-shot CLI sweeps pay worker-spawn cost per :func:`prewarm` call; a
+long-running process (the service daemon, ``repro serve``) instead keeps
+one :class:`OrchestratorPool` resident and installs it with
+:func:`set_shared_pool`, after which every ``prewarm`` in the process —
+including ones buried inside experiment modules and the tuner — routes
+its batches through the warm pool.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,9 +42,171 @@ from .spec import SweepPoint, SweepSpec
 #: Payload shipped to a worker: everything needed to rebuild + simulate.
 _Payload = Tuple[str, str, AcceleratorConfig, Optional[int]]
 
+#: Pool-infrastructure failures that trigger the serial fallback.
+#: Simulation errors are deliberately NOT in this set — they propagate
+#: exactly as the serial path would raise them.
+_POOL_ERRORS = (OSError, BrokenExecutor, pickle.PicklingError)
+
+#: Infrastructure strikes before a pool declines work permanently.  A
+#: transient pool never gets a second call anyway; a resident daemon
+#: pool gets a few chances to rebuild after a dead worker before
+#: settling on the serial path for good.
+_MAX_STRIKES = 3
+
+
+def _is_shutdown_runtime_error(exc: RuntimeError) -> bool:
+    """The ``RuntimeError`` an executor raises when raced by shutdown —
+    infrastructure, unlike an engine bug raising ``RuntimeError``."""
+    text = str(exc)
+    return "after shutdown" in text or "interpreter shutdown" in text
+
 
 def default_jobs() -> int:
     return os.cpu_count() or 1
+
+
+def _noop(_: int) -> None:
+    """Trivial worker task used to spawn pool processes eagerly."""
+    return None
+
+
+class OrchestratorPool:
+    """A persistent process pool reused across sweep batches.
+
+    ``ProcessPoolExecutor`` is thread-safe, so a daemon may push batches
+    from several threads concurrently.  The first infrastructure failure
+    marks the pool ``broken`` permanently and every later call returns
+    ``None`` — callers then run the serial path, mirroring
+    :func:`prewarm`'s transient-pool fallback.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.broken = False
+        self.strikes = 0          # infrastructure failures seen so far
+        self.batches = 0          # successful parallel batches dispatched
+        self.payloads = 0         # payloads simulated across those batches
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
+
+    def _infra_failure(self) -> None:
+        """Discard the executor; after :data:`_MAX_STRIKES` of these the
+        pool declines work permanently (``broken``) instead of fork-
+        looping a hopeless environment."""
+        with self._lock:
+            self.strikes += 1
+            if self.strikes >= _MAX_STRIKES:
+                self.broken = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _raced_shutdown(self) -> None:
+        """This thread's ``map`` hit "cannot schedule new futures after
+        shutdown".  If :meth:`close` retired the pool, ``broken`` is
+        already set and there is nothing to do; otherwise we raced
+        another thread's strike-triggered executor teardown — count our
+        own strike rather than condemning the pool outright."""
+        if not self.broken:
+            self._infra_failure()
+
+    def warm(self) -> bool:
+        """Eagerly spawn the worker processes (one trivial task each), so
+        the first real batch pays no fork latency.  Returns ``False`` when
+        pool infrastructure is unavailable (the pool is then ``broken``
+        and all work runs serially)."""
+        if self.jobs <= 1 or self.broken:
+            return False
+        try:
+            list(self._ensure().map(_noop, range(self.jobs)))
+        except _POOL_ERRORS:
+            self._infra_failure()
+            return False
+        except RuntimeError as exc:
+            if _is_shutdown_runtime_error(exc):
+                self._raced_shutdown()
+                return False
+            raise
+        return True
+
+    def run_payloads(self, payloads: Sequence[_Payload]
+                     ) -> Optional[List[Dict[str, object]]]:
+        """Simulate ``payloads`` across the workers, preserving order.
+
+        Returns the encoded results, or ``None`` when the caller should
+        use the serial path (1-wide pool, broken infrastructure, or an
+        empty batch).  Simulation errors propagate; infrastructure
+        errors (worker death, no fork support, shutdown race) count a
+        strike and fall back to serial for this batch — the engines do
+        no I/O, so an ``OSError`` out of ``map`` is infrastructure too.
+        """
+        if self.jobs <= 1 or self.broken or not payloads:
+            return None
+        try:
+            encoded = list(self._ensure().map(_simulate_payload, payloads))
+        except _POOL_ERRORS:
+            self._infra_failure()
+            return None
+        except RuntimeError as exc:
+            # A pool raced by shutdown is infrastructure; an engine bug
+            # raising RuntimeError is a simulation error and propagates.
+            if _is_shutdown_runtime_error(exc):
+                self._raced_shutdown()
+                return None
+            raise
+        with self._lock:
+            self.batches += 1
+            self.payloads += len(encoded)
+        return encoded
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for service stats reporting."""
+        return {
+            "jobs": self.jobs,
+            "broken": self.broken,
+            "strikes": self.strikes,
+            "batches": self.batches,
+            "payloads": self.payloads,
+        }
+
+    def close(self) -> None:
+        """Shut the workers down; the pool permanently declines further
+        work (``broken``) so late callers take the serial path instead of
+        resurrecting an orphan executor."""
+        with self._lock:
+            self.broken = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "OrchestratorPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+_SHARED_POOL: Optional[OrchestratorPool] = None
+
+
+def set_shared_pool(pool: Optional[OrchestratorPool]) -> None:
+    """Install (or with ``None`` remove) the process-wide resident pool.
+
+    While installed, :func:`prewarm` calls that do not pass an explicit
+    pool dispatch through it — at the *pool's* width, regardless of their
+    ``jobs`` argument."""
+    global _SHARED_POOL
+    _SHARED_POOL = pool
+
+
+def get_shared_pool() -> Optional[OrchestratorPool]:
+    return _SHARED_POOL
 
 
 def _simulate_payload(payload: _Payload) -> Dict[str, object]:
@@ -59,14 +229,20 @@ def _resolvable(points: Iterable[SweepPoint]) -> List[SweepPoint]:
     return [p for p in points if is_resolvable(p.workload)]
 
 
-def prewarm(points: Sequence[SweepPoint], jobs: Optional[int] = None) -> int:
+def prewarm(points: Sequence[SweepPoint], jobs: Optional[int] = None,
+            pool: Optional[OrchestratorPool] = None) -> int:
     """Simulate every uncached point, ``jobs`` wide; returns #simulated.
 
     Results land in the runner's cache tiers (process dict + persistent
     store when installed), so subsequent serial code replays them.
     Unresolvable workload names are skipped — their owner still holds the
     real :class:`Workload` object and will simulate lazily in-process.
+
+    An explicit ``pool`` (or an installed shared pool, see
+    :func:`set_shared_pool`) is reused across calls at its own width;
+    otherwise a transient pool spins up when ``jobs > 1``.
     """
+    pool = pool if pool is not None else get_shared_pool()
     jobs = default_jobs() if jobs is None else max(1, jobs)
     todo: List[SweepPoint] = []
     seen = set()
@@ -79,25 +255,23 @@ def prewarm(points: Sequence[SweepPoint], jobs: Optional[int] = None) -> int:
     if not todo:
         return 0
 
-    if jobs > 1 and len(todo) > 1:
-        payloads: List[_Payload] = [
-            (p.workload, p.config, p.cfg, p.cache_granularity) for p in todo
-        ]
-        try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                encoded = list(pool.map(_simulate_payload, payloads))
-        except (OSError, BrokenExecutor, pickle.PicklingError):
-            # Pool infrastructure unavailable (sandbox without fork/
-            # semaphores, dead worker, unpicklable payload) — fall through
-            # to the serial path.  Simulation errors are NOT caught: they
-            # propagate exactly as the serial path would raise them.
-            pass
-        else:
-            runner.count_simulations(len(todo))
-            for point, data in zip(todo, encoded):
-                runner.seed_cache(point.key(), SimResult.from_dict(data))
-            return len(todo)
+    payloads: List[_Payload] = [
+        (p.workload, p.config, p.cfg, p.cache_granularity) for p in todo
+    ]
+    encoded: Optional[List[Dict[str, object]]] = None
+    if pool is not None:
+        encoded = pool.run_payloads(payloads)
+    elif jobs > 1 and len(todo) > 1:
+        with OrchestratorPool(min(jobs, len(todo))) as transient:
+            encoded = transient.run_payloads(payloads)
+    if encoded is not None:
+        runner.count_simulations(len(todo))
+        for point, data in zip(todo, encoded):
+            runner.seed_cache(point.key(), SimResult.from_dict(data))
+        return len(todo)
 
+    # Serial path: pool infrastructure unavailable (sandbox without fork/
+    # semaphores, dead worker, unpicklable payload) or 1-wide request.
     for p in todo:
         runner.run_workload_config(
             resolve_workload(p.workload), p.config, p.cfg,

@@ -11,6 +11,16 @@ runner's traffic key plus a schema version.  Repeat invocations of
 Records whose schema version differs from the reader's are ignored on
 load, so bumping :data:`SCHEMA_VERSION` invalidates stale caches without
 any migration machinery.
+
+The store is safe for **concurrent writers** — threads inside one
+process (the service daemon simulates batches and tune jobs on worker
+threads) and independent processes sharing one cache directory (several
+CLI invocations, or a CLI run racing a daemon).  Every append is a
+single ``O_APPEND`` ``write(2)`` of one complete line, so lines from
+concurrent writers interleave whole, never torn; racing writers may
+duplicate a key, which :meth:`ResultStore._load` resolves
+first-record-wins (simulations are deterministic, so duplicates carry
+identical results — the rule only pins which byte range is live).
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -88,9 +99,12 @@ class ResultStore:
         self.misses = 0
         self.simulations = 0
         self.stale = 0          # records skipped on load (schema mismatch)
+        self.duplicates = 0     # records skipped on load (key already seen)
         self._index: Dict[str, SimResult] = {}
         self._write_failed = False
-        self._load()
+        self._lock = threading.RLock()
+        with self._lock:
+            self._load()
 
     # -- keys ------------------------------------------------------------------
 
@@ -102,10 +116,20 @@ class ResultStore:
     # -- persistence -----------------------------------------------------------
 
     def _load(self) -> None:
+        """Initial scan of the on-disk file (caller holds the lock)."""
+        self.stale, self.duplicates = self._scan_into(self._index)
+
+    def _scan_into(self, index: Dict[str, SimResult]) -> Tuple[int, int]:
+        """Scan the file into ``index``; returns (stale, duplicates).
+
+        Duplicate keys — concurrent writers racing the same point — keep
+        the **first** record; later copies only count.
+        """
+        stale = duplicates = 0
         try:
             fh = self.path.open("r", encoding="utf-8")
         except OSError:
-            return  # missing or unreadable: behave as an empty store
+            return 0, 0  # missing or unreadable: behave as an empty store
         with fh:
             for line in fh:
                 line = line.strip()
@@ -116,38 +140,91 @@ class ResultStore:
                 except json.JSONDecodeError:
                     continue  # torn final line from an interrupted writer
                 if record.get("v") != self.schema_version:
-                    self.stale += 1
+                    stale += 1
                     continue
                 ks = self.key_str(record["key"])
-                self._index[ks] = SimResult.from_dict(record["result"])
+                if ks in index:
+                    duplicates += 1
+                    continue
+                index[ks] = SimResult.from_dict(record["result"])
+        return stale, duplicates
+
+    def reload(self) -> int:
+        """Re-scan the file, merging records other processes appended since
+        open; returns how many new keys appeared.  In-memory entries that
+        never reached disk (unwritable store) are kept.  The rebuilt index
+        replaces the live one in a single reference swap, so lock-free
+        readers (``len``, ``in``, :meth:`workload_counts`) always see a
+        complete snapshot — old or new, never half-scanned.  The O(file)
+        scan itself runs *outside* the lock so concurrent ``get``/``put``
+        (the daemon's event loop and simulation threads) never stall on a
+        long rescan; entries they add mid-scan survive via the merge."""
+        fresh: Dict[str, SimResult] = {}
+        stale, duplicates = self._scan_into(fresh)
+        with self._lock:
+            before = len(self._index)
+            for ks, result in self._index.items():
+                fresh.setdefault(ks, result)
+            self._index = fresh
+            self.stale, self.duplicates = stale, duplicates
+            return len(self._index) - before
 
     def get(self, key: Tuple) -> Optional[SimResult]:
-        result = self._index.get(self.key_str(key))
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
+        with self._lock:  # counters are read-modify-write; threads race
+            result = self._index.get(self.key_str(key))
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
 
     def put(self, key: Tuple, result: SimResult) -> None:
         ks = self.key_str(key)
-        if ks in self._index:
-            return
-        self._index[ks] = result
-        if self._write_failed:
-            return
-        record = {"v": self.schema_version, "key": json.loads(ks),
-                  "result": result.to_dict()}
+        with self._lock:
+            if ks in self._index:
+                return
+            self._index[ks] = result
+            if self._write_failed:
+                return
+            record = {"v": self.schema_version, "key": json.loads(ks),
+                      "result": result.to_dict()}
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._append_line(json.dumps(record, separators=(",", ":")))
+            except OSError as exc:
+                # The store is an optimisation: an unwritable cache location
+                # degrades to in-memory-only instead of aborting the run.
+                self._write_failed = True
+                print(f"repro: result store unwritable ({exc}); "
+                      "continuing without persistence", file=sys.stderr)
+
+    def _append_line(self, line: str) -> None:
+        """Append one record as a single ``O_APPEND`` ``write(2)`` call.
+
+        POSIX appends of one buffer are atomic with respect to other
+        appenders on local filesystems, so concurrent CLI processes and
+        daemon threads can share a store file without torn lines.  A
+        short write (e.g. disk full) is completed in a loop; if writing
+        fails mid-record, a best-effort lone newline seals the fragment
+        so the *next* writer's line cannot concatenate onto it — the
+        fragment itself is then skipped as a torn line on load.
+        """
+        payload = (line + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-        except OSError as exc:
-            # The store is an optimisation: an unwritable cache location
-            # degrades to in-memory-only instead of aborting the run.
-            self._write_failed = True
-            print(f"repro: result store unwritable ({exc}); "
-                  "continuing without persistence", file=sys.stderr)
+            view = memoryview(payload)
+            try:
+                while view:
+                    view = view[os.write(fd, view):]
+            except OSError:
+                if len(view) != len(payload):  # partial record on disk
+                    try:
+                        os.write(fd, b"\n")
+                    except OSError:
+                        pass
+                raise
+        finally:
+            os.close(fd)
 
     def __contains__(self, key: Tuple) -> bool:
         return self.key_str(key) in self._index
@@ -157,15 +234,27 @@ class ResultStore:
 
     def clear(self) -> int:
         """Delete the on-disk store; returns how many records were dropped."""
-        dropped = len(self._index) + self.stale
-        self._index.clear()
-        self.hits = self.misses = self.simulations = self.stale = 0
-        for p in (self.path, self.stats_path):
-            try:
-                p.unlink()
-            except OSError:
-                pass
-        return dropped
+        with self._lock:
+            dropped = len(self._index) + self.stale
+            self._index.clear()
+            self.hits = self.misses = self.simulations = 0
+            self.stale = self.duplicates = 0
+            for p in (self.path, self.stats_path):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            return dropped
+
+    def workload_counts(self) -> Dict[str, int]:
+        """Entries per workload name (key position 1 of every traffic key),
+        sorted by name — what the service has warmed, per workload."""
+        counts: Dict[str, int] = {}
+        for ks in list(self._index):
+            key = json.loads(ks)
+            workload = str(key[1]) if len(key) > 1 else "?"
+            counts[workload] = counts.get(workload, 0) + 1
+        return dict(sorted(counts.items()))
 
     # -- stats -----------------------------------------------------------------
 
@@ -202,13 +291,21 @@ class ResultStore:
     def describe(self) -> str:
         """Human-readable summary for ``repro cache stat``."""
         size = self.path.stat().st_size if self.path.exists() else 0
+        skipped = []
+        if self.stale:
+            skipped.append(f"+{self.stale} stale-schema")
+        if self.duplicates:
+            skipped.append(f"+{self.duplicates} duplicate")
         lines = [
             f"cache dir:      {self.directory}",
             f"schema version: {self.schema_version}",
             f"entries:        {len(self)}"
-            + (f" (+{self.stale} stale-schema records ignored)" if self.stale else ""),
+            + (f" ({', '.join(skipped)} records ignored)" if skipped else ""),
             f"store size:     {size} bytes",
         ]
+        for workload, count in self.workload_counts().items():
+            lines.append(f"  {workload:30s} {count} entr"
+                         + ("y" if count == 1 else "ies"))
         stats = self.load_stats()
         last = stats.get("last_run")
         if last is not None:

@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: a resident daemon over the warm result store.
+
+Every ``repro`` CLI entry point is a one-shot process that pays pool
+spawn and store load per invocation.  This package turns the repro into
+a long-lived server instead:
+
+* :class:`~repro.service.server.SimulationService` — asyncio daemon
+  holding one persistent :class:`~repro.orchestrator.store.ResultStore`
+  and one pre-warmed orchestrator pool, with single-flight dedup of
+  concurrent identical points, cross-client batching, streamed progress,
+  cancellation and bounded-queue backpressure;
+* :mod:`~repro.service.protocol` — the JSON-lines wire protocol;
+* :class:`~repro.service.client.ServiceClient` — blocking client used by
+  ``repro submit`` / ``repro jobs``;
+* :mod:`~repro.service.jobs` — job lifecycle records.
+
+Quickstart::
+
+    $ python -m repro serve --port 8642 &
+    $ python -m repro submit --workloads 'cg/*' --configs Flexagon,CELLO
+    $ python -m repro submit --workloads 'cg/*' --configs Flexagon,CELLO
+      # warm resubmit: "simulations: 0"
+    $ python -m repro jobs --shutdown
+
+See ``docs/service.md`` for the full protocol and operations guide.
+"""
+
+from .client import (
+    JobFailed,
+    PointResult,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    SweepOutcome,
+)
+from .jobs import Job, JobRegistry, JobState
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    default_port,
+)
+from .server import SimulationService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobFailed",
+    "JobRegistry",
+    "JobState",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "PointResult",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "SimulationService",
+    "SweepOutcome",
+    "default_port",
+]

@@ -1,0 +1,255 @@
+"""Synchronous client for the simulation service.
+
+A thin blocking wrapper over one TCP connection: build a request with
+:mod:`repro.service.protocol`, send it, iterate response lines.  The
+client is what the ``repro submit`` / ``repro jobs`` CLI verbs and the
+loopback test suite use; anything else that can write JSON lines to a
+socket (``nc``, another language) speaks the same protocol.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..sim.results import SimResult
+from .protocol import (
+    DEFAULT_HOST,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    default_port,
+    encode_message,
+    sweep_request,
+    tune_request,
+)
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error, or the conversation broke down."""
+
+
+class ServiceConnectionError(ServiceError):
+    """No server reachable at the requested address."""
+
+
+class JobFailed(ServiceError):
+    """A submitted job ended in ``error`` or ``cancelled``."""
+
+    def __init__(self, message: str, job_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One streamed sweep point: where it ran and what came back."""
+
+    workload: str
+    config: str
+    sram_bytes: int
+    bandwidth_bytes_per_s: float
+    cache_granularity: Optional[int]
+    result: SimResult
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A finished sweep job as the client saw it."""
+
+    job_id: str
+    points: List[PointResult]
+    simulations: int
+    hits: int
+    coalesced: int
+    elapsed_s: float
+
+
+class ServiceClient:
+    """One connection to a running ``repro serve`` daemon.
+
+    Usable as a context manager; all methods block.  ``timeout`` bounds
+    each socket operation — sweeps stream a line per point and tune jobs
+    heartbeat every few seconds while searching, so even long jobs keep
+    producing lines well within a generous timeout.
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: Optional[int] = None,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = default_port() if port is None else port
+        try:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"no repro service reachable at {self.host}:{self.port} "
+                f"({exc}); start one with 'repro serve'") from exc
+        self._sock.settimeout(timeout)
+        # Binary mode: the protocol's line bound is in bytes, so the
+        # bounded readline below must count bytes, not characters.
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send(self, msg: Mapping[str, object]) -> None:
+        try:
+            self._sock.sendall(encode_message(msg))
+        except OSError as exc:
+            raise ServiceError(f"send failed: {exc}") from exc
+
+    def _recv(self) -> Dict[str, object]:
+        try:
+            # Bounded read: a rogue endpoint on this port must not be
+            # able to balloon the client by streaming a newline-free
+            # line (the server enforces the same bound on requests).
+            line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise ServiceError(f"receive failed: {exc}") from exc
+        if not line:
+            raise ServiceError("server closed the connection")
+        if len(line) > MAX_LINE_BYTES or not line.endswith(b"\n"):
+            raise ServiceError(
+                f"server sent a line exceeding {MAX_LINE_BYTES} bytes")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad server message: {exc}") from exc
+
+    def request(self, msg: Mapping[str, object]) -> Dict[str, object]:
+        """Send one single-response op; raise on an ``error`` reply."""
+        self._send(msg)
+        reply = self._recv()
+        if reply.get("type") == "error":
+            raise ServiceError(str(reply.get("error", "unknown error")))
+        return reply
+
+    # -- single-response ops ---------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self.request({"op": "jobs"})["jobs"])  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self.request({"op": "cancel", "job": job_id})
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the server to stop; returns its acknowledgement."""
+        return self.request({"op": "shutdown"})
+
+    # -- job submission --------------------------------------------------------
+
+    def _stream(self, req: Mapping[str, object],
+                on_message: Optional[Callable[[Dict[str, object]], None]],
+                ) -> Iterator[Dict[str, object]]:
+        self._send(req)
+        while True:
+            msg = self._recv()
+            if on_message is not None:
+                on_message(msg)
+            yield msg
+            if msg.get("type") in ("done", "error", "cancelled"):
+                return
+
+    def submit_sweep(self, workloads: Sequence[str],
+                     configs: Optional[Sequence[str]] = None,
+                     sram_mb: Sequence[float] = (),
+                     bandwidth_gb: Sequence[float] = (),
+                     cache_granularity: Optional[int] = None,
+                     on_message: Optional[
+                         Callable[[Dict[str, object]], None]] = None,
+                     ) -> SweepOutcome:
+        """Submit a sweep and block until it finishes.
+
+        ``on_message`` observes every raw response line (progress UIs);
+        raises :class:`JobFailed` if the job errors or is cancelled.
+        """
+        req = sweep_request(workloads, configs=configs, sram_mb=sram_mb,
+                            bandwidth_gb=bandwidth_gb,
+                            cache_granularity=cache_granularity)
+        job_id: Optional[str] = None
+        points: List[PointResult] = []
+        for msg in self._stream(req, on_message):
+            kind = msg.get("type")
+            if kind == "accepted":
+                job_id = str(msg["job"])
+            elif kind == "result":
+                point = dict(msg["point"])  # type: ignore[arg-type]
+                points.append(PointResult(
+                    workload=str(point["workload"]),
+                    config=str(point["config"]),
+                    sram_bytes=int(point["sram_bytes"]),  # type: ignore[arg-type]
+                    bandwidth_bytes_per_s=float(
+                        point["bandwidth_bytes_per_s"]),  # type: ignore[arg-type]
+                    cache_granularity=point.get(  # type: ignore[assignment]
+                        "cache_granularity"),
+                    result=SimResult.from_dict(
+                        msg["result"]),  # type: ignore[arg-type]
+                ))
+            elif kind == "cancelled":
+                raise JobFailed(f"job {job_id} was cancelled", job_id)
+            elif kind == "error":
+                raise JobFailed(str(msg.get("error", "job failed")), job_id)
+            elif kind == "done":
+                return SweepOutcome(
+                    job_id=str(msg["job"]),
+                    points=points,
+                    simulations=int(msg["simulations"]),  # type: ignore[arg-type]
+                    hits=int(msg["hits"]),  # type: ignore[arg-type]
+                    coalesced=int(msg["coalesced"]),  # type: ignore[arg-type]
+                    elapsed_s=float(msg["elapsed_s"]),  # type: ignore[arg-type]
+                )
+        raise ServiceError("stream ended without a terminal message")
+
+    def submit_tune(self, workload: str,
+                    strategy: str = "grid",
+                    budget: int = 32,
+                    seed: int = 0,
+                    objectives: Optional[Sequence[str]] = None,
+                    sram_mb: Sequence[float] = (4.0,),
+                    entries: Sequence[int] = (64,),
+                    include_baselines: bool = False,
+                    on_message: Optional[
+                        Callable[[Dict[str, object]], None]] = None,
+                    ) -> Dict[str, object]:
+        """Submit a tune job; returns the serialised
+        :class:`~repro.tuner.TuneResult` dict (rebuild with
+        ``TuneResult.from_dict``)."""
+        req = tune_request(workload, strategy=strategy, budget=budget,
+                           seed=seed, objectives=objectives, sram_mb=sram_mb,
+                           entries=entries,
+                           include_baselines=include_baselines)
+        job_id: Optional[str] = None
+        tune_result: Optional[Dict[str, object]] = None
+        for msg in self._stream(req, on_message):
+            kind = msg.get("type")
+            if kind == "accepted":
+                job_id = str(msg["job"])
+            elif kind == "tune-result":
+                tune_result = dict(msg["result"])  # type: ignore[arg-type]
+            elif kind == "error":
+                raise JobFailed(str(msg.get("error", "tune failed")), job_id)
+            elif kind == "done":
+                if tune_result is None:
+                    raise ServiceError("tune finished without a result")
+                return tune_result
+        raise ServiceError("stream ended without a terminal message")

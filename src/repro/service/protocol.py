@@ -1,0 +1,270 @@
+"""Wire protocol of the simulation service: JSON lines over local TCP.
+
+Every message — request or response — is one JSON object encoded on one
+UTF-8 line (``\\n``-terminated, at most :data:`MAX_LINE_BYTES` bytes).
+Requests carry an ``"op"`` field; responses carry a ``"type"`` field.
+
+Request ops
+-----------
+
+========== =============================================================
+op          meaning
+========== =============================================================
+ping        liveness + protocol version (single ``pong`` response)
+simulate    one (workload, config) point — sugar for a 1-point sweep
+sweep       a (workloads × configs × sram × bandwidth) grid
+tune        a co-design autotuning run (:func:`repro.tuner.tune`)
+jobs        snapshot of the server's job table (single response)
+stats       server / store / pool counters (single response)
+cancel      stop a running sweep job by id (single response)
+shutdown    acknowledge, then stop the server (single response)
+========== =============================================================
+
+Submission ops (``simulate``/``sweep``/``tune``) stream several
+responses on the same connection: ``accepted`` → ``result`` per point
+(sweeps) or ``tune-result`` (tunes) → ``done``; a failed job ends with
+``error`` and a cancelled one with ``cancelled`` instead.  Every other
+op gets exactly one response.  Responses to a submission never
+interleave with other clients' — each connection only sees its own jobs.
+
+The module is deliberately dependency-light: converting wire requests
+into :class:`~repro.orchestrator.spec.SweepSpec` lives here so the
+server and tests share one validation path, but no asyncio/socket code
+does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..baselines.configs import MAIN_CONFIGS, unknown_config_error
+from ..hw.config import GB, MIB
+from ..orchestrator.spec import SweepSpec
+
+#: Bump on any wire-visible change (ops, field names, framing).
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Hard per-line bound (requests and responses); a line this long is a
+#: protocol violation, not a big job — grids expand server-side.
+MAX_LINE_BYTES = 1 << 20
+
+#: Ops that stream multiple responses (job submissions).
+SUBMIT_OPS = ("simulate", "sweep", "tune")
+#: Ops answered by exactly one response line.
+QUERY_OPS = ("ping", "jobs", "stats", "cancel", "shutdown")
+KNOWN_OPS = SUBMIT_OPS + QUERY_OPS
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid wire message (bad frame, unknown op, bad
+    field types, unknown config name, empty grid...)."""
+
+
+def default_port() -> int:
+    """``$REPRO_SERVICE_PORT`` when set, else :data:`DEFAULT_PORT`."""
+    env = os.environ.get("REPRO_SERVICE_PORT")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return DEFAULT_PORT
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def encode_message(msg: Mapping[str, object]) -> bytes:
+    """One message → one JSON line (the only frame the protocol has)."""
+    payload = json.dumps(dict(msg), separators=(",", ":")) + "\n"
+    data = payload.encode("utf-8")
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds "
+                            f"MAX_LINE_BYTES={MAX_LINE_BYTES}")
+    return data
+
+
+def decode_message(line: "bytes | str") -> Dict[str, object]:
+    """One line → one message dict; raises :class:`ProtocolError` on a
+    non-JSON or non-object line."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("line exceeds MAX_LINE_BYTES")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not UTF-8: {exc}") from exc
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"line is not JSON: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ProtocolError("message must be a JSON object")
+    return msg
+
+
+def parse_request(line: "bytes | str") -> Dict[str, object]:
+    """Decode a client line and check it names a known op."""
+    msg = decode_message(line)
+    op = msg.get("op")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; known: {', '.join(KNOWN_OPS)}")
+    return msg
+
+
+# -- request builders (client side) --------------------------------------------
+
+
+def sweep_request(workloads: Sequence[str],
+                  configs: Optional[Sequence[str]] = None,
+                  sram_mb: Sequence[float] = (),
+                  bandwidth_gb: Sequence[float] = (),
+                  cache_granularity: Optional[int] = None,
+                  ) -> Dict[str, object]:
+    req: Dict[str, object] = {"op": "sweep", "workloads": list(workloads)}
+    if configs is not None:
+        req["configs"] = list(configs)
+    if sram_mb:
+        req["sram_mb"] = [float(m) for m in sram_mb]
+    if bandwidth_gb:
+        req["bandwidth_gb"] = [float(g) for g in bandwidth_gb]
+    if cache_granularity is not None:
+        req["cache_granularity"] = int(cache_granularity)
+    return req
+
+
+def tune_request(workload: str,
+                 strategy: str = "grid",
+                 budget: int = 32,
+                 seed: int = 0,
+                 objectives: Optional[Sequence[str]] = None,
+                 sram_mb: Sequence[float] = (4.0,),
+                 entries: Sequence[int] = (64,),
+                 include_baselines: bool = False,
+                 ) -> Dict[str, object]:
+    req: Dict[str, object] = {
+        "op": "tune",
+        "workload": workload,
+        "strategy": strategy,
+        "budget": int(budget),
+        "seed": int(seed),
+        "sram_mb": [float(m) for m in sram_mb],
+        "entries": [int(e) for e in entries],
+        "include_baselines": bool(include_baselines),
+    }
+    if objectives is not None:
+        req["objectives"] = list(objectives)
+    return req
+
+
+# -- request validation (server side, shared with tests) -----------------------
+
+
+def _str_list(req: Mapping[str, object], field: str,
+              default: Sequence[str] = ()) -> List[str]:
+    raw = req.get(field, list(default))
+    if isinstance(raw, str):
+        raw = [raw]
+    if (not isinstance(raw, list)
+            or any(not isinstance(x, str) for x in raw)):
+        raise ProtocolError(f"{field!r} must be a string or list of strings")
+    return [x for x in raw if x.strip()]
+
+
+def _num_list(req: Mapping[str, object], field: str) -> List[float]:
+    raw = req.get(field, [])
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        raw = [raw]
+    if (not isinstance(raw, list)
+            or any(isinstance(x, bool) or not isinstance(x, (int, float))
+                   for x in raw)):
+        raise ProtocolError(f"{field!r} must be a number or list of numbers")
+    return [float(x) for x in raw]
+
+
+def _int_field(req: Mapping[str, object], field: str, default: int) -> int:
+    raw = req.get(field, default)
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ProtocolError(f"{field!r} must be an integer")
+    return raw
+
+
+def parse_tune_fields(req: Mapping[str, object]) -> Dict[str, object]:
+    """Type-validate a ``tune`` request's fields (same helpers the sweep
+    path uses, so malformed wire types fail as clean protocol errors).
+
+    Returns plain validated values; workload resolvability and strategy /
+    objective names are checked by the server against their registries.
+    """
+    workload = req.get("workload")
+    if not isinstance(workload, str) or not workload.strip():
+        raise ProtocolError("'workload' must be a workload name")
+    strategy = req.get("strategy", "grid")
+    if not isinstance(strategy, str):
+        raise ProtocolError("'strategy' must be a string")
+    objectives = req.get("objectives")
+    sram_mb = _num_list(req, "sram_mb") or [4.0]
+    entries = _num_list(req, "entries") or [64.0]
+    if any(e < 1 or int(e) != e for e in entries):
+        raise ProtocolError("'entries' must be positive integers")
+    return {
+        "workload": workload,
+        "strategy": strategy,
+        "budget": _int_field(req, "budget", 32),
+        "seed": _int_field(req, "seed", 0),
+        "objectives": (_str_list(req, "objectives")
+                       if objectives is not None else None),
+        "sram_mb": sram_mb,
+        "entries": [int(e) for e in entries],
+        "include_baselines": bool(req.get("include_baselines", False)),
+    }
+
+
+def request_to_spec(req: Mapping[str, object]) -> SweepSpec:
+    """Validate a ``simulate``/``sweep`` request into a :class:`SweepSpec`.
+
+    Workload *names* are not resolved here (that needs the registry and
+    produces a better server-side error listing); config names are,
+    since :data:`~repro.baselines.configs` is cheap and static.
+    """
+    op = req.get("op")
+    if op == "simulate":
+        workload = req.get("workload")
+        config = req.get("config")
+        if not isinstance(workload, str) or not workload.strip():
+            raise ProtocolError("'workload' must be a workload name")
+        if not isinstance(config, str) or not config.strip():
+            raise ProtocolError("'config' must be a configuration name")
+        workloads, configs = [workload], [config]
+    else:
+        workloads = _str_list(req, "workloads")
+        configs = _str_list(req, "configs", default=MAIN_CONFIGS)
+        if not workloads:
+            raise ProtocolError("'workloads' must name at least one workload")
+        if not configs:
+            raise ProtocolError("'configs' must name at least one config")
+    config_error = unknown_config_error(configs)
+    if config_error is not None:
+        raise ProtocolError(config_error)
+    granularity = req.get("cache_granularity")
+    if granularity is not None and (isinstance(granularity, bool)
+                                    or not isinstance(granularity, int)
+                                    or granularity < 1):
+        raise ProtocolError("'cache_granularity' must be a positive integer")
+    try:
+        return SweepSpec(
+            workloads=tuple(workloads),
+            configs=tuple(configs),
+            sram_bytes=tuple(int(m * MIB)
+                             for m in _num_list(req, "sram_mb")),
+            bandwidths=tuple(g * GB for g in _num_list(req, "bandwidth_gb")),
+            cache_granularity=granularity,
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"invalid sweep grid: {exc}") from exc

@@ -1,0 +1,615 @@
+"""The simulation service daemon.
+
+One long-lived asyncio process owns what every one-shot CLI invocation
+used to rebuild from scratch: a persistent
+:class:`~repro.orchestrator.store.ResultStore` and a pre-warmed
+:class:`~repro.orchestrator.parallel.OrchestratorPool`.  Clients connect
+over local TCP, submit ``simulate``/``sweep``/``tune`` jobs as JSON
+lines (see :mod:`repro.service.protocol`), and receive streamed
+per-point results.
+
+Three server-side guarantees:
+
+* **Single-flight** — each distinct *sweep* traffic key simulates at
+  most once, ever: warm keys answer from the store, and concurrent jobs
+  wanting the same un-warmed key share one in-flight future instead of
+  re-enqueuing.  (Tune jobs evaluate through the warm store and resident
+  pool but do not consult the in-flight table, so a tune racing a sweep
+  on the same cold key may duplicate that one simulation — results stay
+  identical either way, simulations being deterministic.)
+* **Cross-client batching** — the dispatcher drains whatever distinct
+  points are queued (briefly waiting ``batch_window_s`` for stragglers)
+  and ships them to the resident pool as one orchestrator batch, so N
+  clients submitting disjoint grids still amortise pool dispatch.
+* **Backpressure** — the simulation queue is bounded
+  (``max_pending``); a job that out-runs the simulators blocks on
+  enqueue instead of growing server memory, and cancellation stops its
+  remaining enqueues.
+
+Results are assembled through the exact serial runner path
+(:func:`repro.baselines.runner.run_workload_config` over the warm
+cache), so a streamed result is byte-identical to a direct engine run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import runner
+from ..hw.config import MIB
+from ..orchestrator.parallel import OrchestratorPool, prewarm, set_shared_pool
+from ..orchestrator.spec import SweepPoint
+from ..orchestrator.store import ResultStore
+from ..workloads.registry import all_workloads, is_resolvable, resolve_workload
+from .jobs import Job, JobRegistry, JobState
+from .protocol import (
+    DEFAULT_HOST,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    default_port,
+    encode_message,
+    parse_request,
+    parse_tune_fields,
+    request_to_spec,
+)
+
+
+class _JobCancelled(Exception):
+    """Internal control flow: a job observed its cancel event."""
+
+
+def _consume_exception(fut: "asyncio.Future[None]") -> None:
+    """Done-callback that retrieves an abandoned future's exception so
+    the event loop does not log 'exception was never retrieved'."""
+    if not fut.cancelled():
+        fut.exception()
+
+
+class SimulationService:
+    """The daemon behind ``repro serve``.
+
+    Run it on the current event loop with :meth:`run`, or from a plain
+    thread via ``asyncio.run(service.run())`` + :meth:`wait_started` /
+    :meth:`request_stop` (how the loopback tests drive it).
+    """
+
+    def __init__(self,
+                 host: str = DEFAULT_HOST,
+                 port: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 use_store: bool = True,
+                 jobs: Optional[int] = None,
+                 max_pending: int = 1024,
+                 batch_window_s: float = 0.02,
+                 max_batch: int = 64,
+                 keep_jobs: int = 256,
+                 tune_heartbeat_s: float = 10.0) -> None:
+        self.host = host
+        self.port = default_port() if port is None else port
+        self.cache_dir = cache_dir
+        self.use_store = use_store
+        self.max_pending = max(1, max_pending)
+        self.batch_window_s = max(0.0, batch_window_s)
+        self.max_batch = max(1, max_batch)
+        self.tune_heartbeat_s = max(0.1, tune_heartbeat_s)
+        self.pool = OrchestratorPool(jobs)
+        self.registry = JobRegistry(keep=keep_jobs)
+        self.store: Optional[ResultStore] = None
+        self.startup_error: Optional[BaseException] = None
+        self.points_streamed = 0
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._queue: Optional["asyncio.Queue[Tuple[str, SweepPoint]]"] = None
+        #: Traffic keys with a simulation dispatched or queued, mapped to
+        #: the future every interested job awaits (single-flight table).
+        self._in_flight: Dict[str, "asyncio.Future[None]"] = {}
+        self._t0 = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def run(self, announce=None) -> None:
+        """Serve until a ``shutdown`` op or :meth:`request_stop`."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        try:
+            server = await asyncio.start_server(
+                self._handle_conn, self.host, self.port or 0,
+                limit=MAX_LINE_BYTES)
+        except OSError as exc:
+            self.startup_error = exc
+            self._started.set()
+            raise
+        self.port = server.sockets[0].getsockname()[1]
+        self.store = ResultStore(self.cache_dir) if self.use_store else None
+        runner.set_store(self.store)
+        set_shared_pool(self.pool)
+        if self.pool.jobs > 1:
+            # Fork the workers before accepting work; a sandbox without
+            # pool support degrades here, once, to all-serial batches.
+            await self._loop.run_in_executor(None, self.pool.warm)
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._t0 = time.monotonic()
+        self._started.set()
+        if announce is not None:
+            width = self.pool.jobs if not self.pool.broken else 1
+            store_desc = (str(self.store.directory) if self.store is not None
+                          else "disabled")
+            announce(f"repro service listening on {self.host}:{self.port} "
+                     f"(pool: {width} worker(s), store: {store_desc})")
+        try:
+            await self._stop.wait()
+        finally:
+            # Close the listener without awaiting wait_closed(): since
+            # Python 3.12.1 that would block on every connection handler,
+            # and one idle client sitting in readline() would hang
+            # shutdown forever.  Lingering handler tasks are cancelled by
+            # asyncio.run()'s teardown instead.
+            server.close()
+            dispatcher.cancel()
+            await asyncio.gather(dispatcher, return_exceptions=True)
+            self._fail_pending("service shut down")
+            if self.store is not None:
+                self.store.save_stats()
+            runner.set_store(None)
+            set_shared_pool(None)
+            self.pool.close()
+
+    def wait_started(self, timeout: Optional[float] = None) -> bool:
+        """Block (from another thread) until the server accepts
+        connections; check :attr:`startup_error` on ``True``."""
+        return self._started.wait(timeout)
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (SIGINT handler, test teardown)."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass  # loop already closed — the server has stopped on its own
+
+    @staticmethod
+    def _abandon(futures: Dict[str, "asyncio.Future[None]"]) -> None:
+        """A job stopped awaiting these futures (cancel / failure /
+        disconnect); make sure any late exceptions still get retrieved so
+        the event loop does not log 'exception was never retrieved'."""
+        for fut in futures.values():
+            fut.add_done_callback(_consume_exception)
+
+    def _fail_pending(self, reason: str) -> None:
+        for fut in self._in_flight.values():
+            if not fut.done():
+                fut.add_done_callback(_consume_exception)
+                fut.set_exception(RuntimeError(reason))
+        self._in_flight.clear()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    msg: Dict[str, object]) -> None:
+        writer.write(encode_message(msg))
+        await writer.drain()
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded MAX_LINE_BYTES: protocol violation —
+                    # report and drop the connection (resync is hopeless).
+                    await self._send(writer, {
+                        "type": "error", "job": None,
+                        "error": f"request line exceeds {MAX_LINE_BYTES} "
+                                 "bytes"})
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = parse_request(line)
+                except ProtocolError as exc:
+                    await self._send(writer, {"type": "error", "job": None,
+                                              "error": str(exc)})
+                    continue
+                if await self._handle_request(req, writer):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; any job it owned keeps warming the store
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, req: Dict[str, object],
+                              writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; ``True`` closes the connection."""
+        op = req["op"]
+        if op == "ping":
+            await self._send(writer, {"type": "pong",
+                                      "server": "repro-service",
+                                      "protocol": PROTOCOL_VERSION})
+        elif op == "jobs":
+            await self._send(writer, {"type": "jobs",
+                                      "jobs": self.registry.snapshots()})
+        elif op == "stats":
+            store_stats: Optional[Dict[str, object]] = None
+            if self.store is not None:
+                # Merge records other processes appended to the shared
+                # cache directory since we last looked — a one-shot
+                # `repro sweep` racing the daemon warms us too.  Both the
+                # O(file) rescan and the O(entries) per-workload counting
+                # run off the event loop.
+                assert self._loop is not None
+                store_stats = await self._loop.run_in_executor(
+                    None, self._store_stats)
+            await self._send(writer, self._stats_msg(store_stats))
+        elif op == "cancel":
+            await self._handle_cancel(req, writer)
+        elif op == "shutdown":
+            await self._send(writer, {"type": "ok", "stopping": True})
+            assert self._stop is not None
+            self._stop.set()
+            return True
+        elif op == "tune":
+            await self._tune_job(req, writer)
+        else:  # "simulate" / "sweep"
+            await self._sweep_job(req, writer)
+        return False
+
+    async def _handle_cancel(self, req: Dict[str, object],
+                             writer: asyncio.StreamWriter) -> None:
+        job = self.registry.get(req.get("job"))
+        if job is None:
+            await self._send(writer, {
+                "type": "error", "job": None,
+                "error": f"unknown job {req.get('job')!r}"})
+        elif job.kind == "tune":
+            await self._send(writer, {
+                "type": "error", "job": job.id,
+                "error": "tune jobs cannot be cancelled"})
+        elif job.finished_state:
+            await self._send(writer, {
+                "type": "error", "job": job.id,
+                "error": f"job {job.id} already {job.state.value}"})
+        else:
+            job.cancel_event.set()
+            await self._send(writer, {"type": "ok", "job": job.id})
+
+    def _store_stats(self) -> Dict[str, object]:
+        """Store view for the stats op; runs on an executor thread."""
+        assert self.store is not None
+        self.store.reload()
+        return {
+            "directory": str(self.store.directory),
+            "schema_version": self.store.schema_version,
+            "entries": len(self.store),
+            "workloads": self.store.workload_counts(),
+        }
+
+    def _stats_msg(self, store_stats: Optional[Dict[str, object]]
+                   ) -> Dict[str, object]:
+        assert self._queue is not None
+        return {
+            "type": "stats",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "jobs": self.registry.counts_by_state(),
+            "points_streamed": self.points_streamed,
+            "simulations": runner.simulation_count(),
+            "queue_depth": self._queue.qsize(),
+            "in_flight": len(self._in_flight),
+            "pool": self.pool.snapshot(),
+            "store": store_stats,
+        }
+
+    # -- sweep jobs ------------------------------------------------------------
+
+    async def _sweep_job(self, req: Dict[str, object],
+                         writer: asyncio.StreamWriter) -> None:
+        try:
+            spec = request_to_spec(req)
+            points = spec.points()
+            if not points:
+                raise ProtocolError(
+                    "sweep matched no (workload, config) points")
+            bad = sorted({p.workload for p in points
+                          if not is_resolvable(p.workload)})
+            if bad:
+                raise ProtocolError(
+                    f"unknown workload(s): {', '.join(bad)}; known: "
+                    f"{', '.join(sorted(all_workloads()))}")
+        except (ProtocolError, ValueError) as exc:
+            await self._send(writer, {"type": "error", "job": None,
+                                      "error": str(exc)})
+            return
+
+        job = self.registry.create(str(req["op"]),
+                                   summary=", ".join(spec.workloads))
+        job.total = len(points)
+        await self._send(writer, {"type": "accepted", "job": job.id,
+                                  "kind": job.kind, "points": job.total})
+        job.state = JobState.RUNNING
+        waiter = asyncio.ensure_future(job.cancel_event.wait())
+        futures: Dict[str, asyncio.Future] = {}
+        try:
+            await self._claim_points(job, points, futures)
+            await self._stream_results(job, points, futures, waiter, writer)
+        except _JobCancelled:
+            self._abandon(futures)
+            job.finish(JobState.CANCELLED)
+            await self._send(writer, {"type": "cancelled", "job": job.id,
+                                      "done": job.done, "total": job.total})
+        except (ConnectionError, asyncio.CancelledError):
+            self._abandon(futures)
+            job.finish(JobState.FAILED, "client disconnected")
+            raise
+        except Exception as exc:  # simulation failure
+            self._abandon(futures)
+            job.finish(JobState.FAILED, str(exc))
+            await self._send(writer, {"type": "error", "job": job.id,
+                                      "error": str(exc)})
+        else:
+            job.finish(JobState.DONE)
+            await self._send(writer, {
+                "type": "done", "job": job.id, "points": job.total,
+                "simulations": job.simulations, "hits": job.hits,
+                "coalesced": job.coalesced,
+                "elapsed_s": round(job.elapsed_s(), 3)})
+        finally:
+            waiter.cancel()
+
+    async def _claim_points(self, job: Job, points: Sequence[SweepPoint],
+                            futures: Dict[str, "asyncio.Future[None]"],
+                            ) -> None:
+        """Classify each distinct traffic key (warm hit / coalesced /
+        fresh) and enqueue the fresh ones, respecting backpressure.
+
+        Fills the caller's ``futures`` dict in place so that keys claimed
+        before a mid-claim cancellation still reach ``_abandon``.
+        """
+        assert self._loop is not None and self._queue is not None
+        for p in points:
+            ks = ResultStore.key_str(p.key())
+            if ks in futures:
+                continue  # bandwidth variant of a point already claimed
+            if runner.peek(p.key()) is not None:
+                done: asyncio.Future = self._loop.create_future()
+                done.set_result(None)
+                futures[ks] = done
+                job.hits += 1
+                continue
+            existing = self._in_flight.get(ks)
+            if existing is not None:
+                futures[ks] = existing
+                job.coalesced += 1
+                continue
+            if job.cancelled:
+                raise _JobCancelled
+            fut: asyncio.Future = self._loop.create_future()
+            self._in_flight[ks] = fut
+            futures[ks] = fut
+            # May block on the bounded queue; the entry is tiny and the
+            # dispatcher always drains, so a cancel arriving mid-put only
+            # stops *subsequent* enqueues (checked at loop top).
+            await self._queue.put((ks, p))
+            job.simulations += 1
+
+    async def _stream_results(self, job: Job, points: Sequence[SweepPoint],
+                              futures: Dict[str, "asyncio.Future[None]"],
+                              waiter: "asyncio.Future[object]",
+                              writer: asyncio.StreamWriter) -> None:
+        for index, p in enumerate(points):
+            fut = futures[ResultStore.key_str(p.key())]
+            if not fut.done():
+                await asyncio.wait({fut, waiter},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            if not fut.done():
+                # The cancel waiter fired first: abandon the remaining
+                # stream.  In-flight keys still resolve and warm the
+                # store for everyone else.
+                raise _JobCancelled
+            fut.result()  # re-raises this key's simulation error, if any
+            # Assemble through the standard serial path: the base result
+            # is warm, so this only re-times for this point's bandwidth —
+            # byte-identical to a direct engine run.
+            result = runner.run_workload_config(
+                resolve_workload(p.workload), p.config, p.cfg,
+                cache_granularity=p.cache_granularity)
+            job.done = index + 1
+            self.points_streamed += 1
+            await self._send(writer, {
+                "type": "result", "job": job.id, "index": index,
+                "done": job.done, "total": job.total,
+                "point": {
+                    "workload": p.workload,
+                    "config": p.config,
+                    "sram_bytes": p.cfg.sram_bytes,
+                    "bandwidth_bytes_per_s":
+                        p.cfg.dram_bandwidth_bytes_per_s,
+                    "cache_granularity": p.cache_granularity,
+                },
+                "result": result.to_dict(),
+            })
+            if job.cancelled:
+                raise _JobCancelled
+
+    # -- the batch dispatcher --------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain queued points into shared orchestrator batches, forever."""
+        assert self._loop is not None and self._queue is not None
+        while True:
+            batch: List[Tuple[str, SweepPoint]] = [await self._queue.get()]
+            if self.batch_window_s > 0:
+                # A short gather window lets concurrently-submitting
+                # clients land in the same pool batch.
+                await asyncio.sleep(self.batch_window_s)
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                outcome = await self._loop.run_in_executor(
+                    None, functools.partial(self._execute_batch, batch))
+            except asyncio.CancelledError:
+                raise  # dispatcher shutdown; run() fails pending futures
+            except BaseException as exc:
+                # The dispatcher is the service's single heart — whatever
+                # leaks out of a batch must fail that batch, never the
+                # loop itself.
+                outcome = {ks: exc for ks, _ in batch}
+            for ks, _ in batch:
+                fut = self._in_flight.pop(ks, None)
+                if fut is None or fut.done():
+                    continue
+                exc = outcome.get(ks)
+                if exc is None:
+                    fut.set_result(None)
+                else:
+                    fut.set_exception(exc)
+
+    def _execute_batch(self, batch: Sequence[Tuple[str, SweepPoint]]
+                       ) -> Dict[str, Optional[BaseException]]:
+        """Simulate one batch on a worker thread; per-key error capture.
+
+        The fast path is one :func:`prewarm` through the resident pool;
+        if any point errors there, re-run per point serially so one bad
+        point fails only its own key.  A pool batch that failed mid-way
+        seeded nothing, so the serial retry re-simulates the whole batch
+        (each success now caching as it lands) — acceptable for what is
+        a rare engine-bug path, and the dispatcher stalls only for this
+        batch's duration.
+        """
+        points = [p for _, p in batch]
+        outcome: Dict[str, Optional[BaseException]] = {}
+        try:
+            prewarm(points, pool=self.pool)
+            for ks, _ in batch:
+                outcome[ks] = None
+            return outcome
+        except BaseException:
+            # Includes CancelledError (a BaseException): a concurrent
+            # user of the shared pool marking it broken cancels our
+            # pending map futures — the serial retry below, which needs
+            # no pool, is exactly the right response.
+            pass
+        for ks, p in batch:
+            try:
+                runner.run_workload_config(
+                    resolve_workload(p.workload), p.config, p.cfg,
+                    cache_granularity=p.cache_granularity)
+                outcome[ks] = None
+            except Exception as exc:
+                outcome[ks] = exc
+        return outcome
+
+    # -- tune jobs -------------------------------------------------------------
+
+    async def _tune_job(self, req: Dict[str, object],
+                        writer: asyncio.StreamWriter) -> None:
+        assert self._loop is not None
+        from ..tuner import TuneSpace, make_strategy, tune
+        from ..tuner.pareto import DEFAULT_OBJECTIVES
+
+        try:
+            fields = parse_tune_fields(req)
+            workload = str(fields["workload"])
+            if not is_resolvable(workload):
+                raise ProtocolError(
+                    f"unknown workload {workload!r}; see 'repro "
+                    "list-workloads'")
+            strategy = make_strategy(
+                str(fields["strategy"]),
+                budget=int(fields["budget"]),  # type: ignore[arg-type]
+                seed=int(fields["seed"]))      # type: ignore[arg-type]
+            objectives = tuple(
+                fields["objectives"] or DEFAULT_OBJECTIVES)  # type: ignore[arg-type]
+            space = TuneSpace(
+                chord_entries=tuple(fields["entries"]),  # type: ignore[arg-type]
+                sram_bytes=tuple(int(m * MIB)
+                                 for m in fields["sram_mb"]),  # type: ignore[union-attr]
+                cache_policies=("LRU", "BRRIP", "SRRIP")
+                if fields["include_baselines"] else (),
+            )
+        except (ProtocolError, KeyError, ValueError, TypeError) as exc:
+            await self._send(writer, {"type": "error", "job": None,
+                                      "error": str(exc)})
+            return
+
+        job = self.registry.create("tune", summary=workload)
+        await self._send(writer, {"type": "accepted", "job": job.id,
+                                  "kind": "tune", "points": 0})
+        job.state = JobState.RUNNING
+        # The search runs on a worker thread; prewarm() inside the tuner
+        # picks up the resident pool via the shared-pool hook.  While it
+        # runs, the client receives heartbeat progress lines so a long
+        # search does not starve its per-read socket timeout.
+        fn = functools.partial(tune, workload, space=space,
+                               strategy=strategy, objectives=objectives,
+                               jobs=self.pool.jobs)
+        search = self._loop.run_in_executor(None, fn)
+        try:
+            while True:
+                done_set, _ = await asyncio.wait(
+                    {search}, timeout=self.tune_heartbeat_s)
+                if done_set:
+                    break
+                await self._send(writer, {
+                    "type": "progress", "job": job.id, "done": 0,
+                    "total": 0, "heartbeat": True,
+                    "elapsed_s": round(job.elapsed_s(), 3)})
+            tune_result = search.result()
+        except (ConnectionError, asyncio.CancelledError):
+            job.finish(JobState.FAILED, "client disconnected")
+            search.add_done_callback(_consume_exception)
+            raise
+        except Exception as exc:  # search or simulation failure
+            job.finish(JobState.FAILED, str(exc))
+            await self._send(writer, {"type": "error", "job": job.id,
+                                      "error": str(exc)})
+            return
+        job.total = job.done = len(tune_result.evaluations)
+        # The tuner derives n_simulations from the process-global counter;
+        # a concurrent cold sweep inflates that delta, so clamp to keep
+        # the job table and the hits partition sane.
+        job.simulations = min(tune_result.n_simulations, job.total)
+        job.hits = job.total - job.simulations
+        try:
+            try:
+                await self._send(writer,
+                                 {"type": "tune-result", "job": job.id,
+                                  "result": tune_result.to_dict()})
+            except ProtocolError as exc:
+                # A huge --budget can push the serialised result past the
+                # line bound; report it instead of dropping the connection.
+                error = (f"tune result too large for the wire "
+                         f"({len(tune_result.evaluations)} evaluations): "
+                         f"{exc}")
+                job.finish(JobState.FAILED, error)
+                await self._send(writer, {"type": "error", "job": job.id,
+                                          "error": error})
+                return
+            job.finish(JobState.DONE)
+            await self._send(writer, {
+                "type": "done", "job": job.id, "points": job.total,
+                "simulations": job.simulations, "hits": job.hits,
+                "coalesced": 0, "elapsed_s": round(job.elapsed_s(), 3)})
+        except (ConnectionError, asyncio.CancelledError):
+            # Disconnect during delivery: never leave the job RUNNING.
+            if not job.finished_state:
+                job.finish(JobState.FAILED, "client disconnected")
+            raise

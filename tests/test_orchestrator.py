@@ -264,3 +264,82 @@ class TestCliIntegration:
         assert main(["sweep", "--workloads", "totally/bogus"]) == 2
         err = capsys.readouterr().err
         assert "unknown workload" in err and "gnn/cora" in err
+
+
+class TestOrchestratorPool:
+    """The resident pool behind the service daemon (and its fallbacks)."""
+
+    def test_serial_pool_declines_work(self):
+        from repro.orchestrator import OrchestratorPool
+
+        with OrchestratorPool(jobs=1) as pool:
+            assert pool.warm() is False
+            assert pool.run_payloads(
+                [("cg/fv1/N=1@it2", "CELLO", CFG, None)]) is None
+            assert pool.snapshot()["batches"] == 0
+
+    def test_pool_reused_across_batches(self):
+        from repro.orchestrator import OrchestratorPool
+
+        points = [SweepPoint("cg/fv1/N=1@it2", c, CFG)
+                  for c in ("Flexagon", "CELLO")]
+        with OrchestratorPool(jobs=2) as pool:
+            if not pool.warm():
+                pytest.skip("no process-pool support in this sandbox")
+            assert prewarm(points[:1], pool=pool) == 1
+            assert prewarm(points, pool=pool) == 1  # only the uncached one
+            snap = pool.snapshot()
+            assert snap["batches"] == 2 and snap["payloads"] == 2
+            assert not snap["broken"]
+        # Pool-dispatched results equal direct serial simulation.
+        parallel = [runner.run_workload_config(
+            resolve_workload(p.workload), p.config, p.cfg) for p in points]
+        runner.clear_cache()
+        serial = [runner.run_workload_config(
+            resolve_workload(p.workload), p.config, p.cfg) for p in points]
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from repro.orchestrator import OrchestratorPool
+        from repro.orchestrator import parallel as parallel_mod
+
+        pool = OrchestratorPool(jobs=2)
+        monkeypatch.setattr(
+            OrchestratorPool, "_ensure",
+            lambda self: (_ for _ in ()).throw(OSError("no forks here")))
+        # Each infrastructure failure counts a strike; prewarm still
+        # completes serially every time.
+        assert pool.warm() is False
+        assert pool.strikes == 1 and not pool.broken
+        points = [SweepPoint("cg/fv1/N=1@it2", "CELLO", CFG)]
+        assert prewarm(points, pool=pool) == 1
+        assert runner.simulation_count() == 1
+        assert pool.strikes == 2 and not pool.broken
+        # The third strike retires the pool to the serial path for good.
+        assert pool.warm() is False
+        assert pool.broken
+        runner.clear_cache()
+        assert prewarm(points, pool=pool) == 1  # still works, serially
+
+    def test_shared_pool_routes_prewarm(self):
+        from repro.orchestrator import (
+            OrchestratorPool,
+            get_shared_pool,
+            set_shared_pool,
+        )
+
+        assert get_shared_pool() is None
+        pool = OrchestratorPool(jobs=2)
+        set_shared_pool(pool)
+        try:
+            assert get_shared_pool() is pool
+            points = [SweepPoint("cg/fv1/N=1@it2", c, CFG)
+                      for c in ("Flexagon", "CELLO")]
+            # jobs=1 call still routes through the installed shared pool
+            # (or its serial fallback when pools are unavailable).
+            assert prewarm(points, jobs=1) == 2
+            assert runner.peek(points[0].key()) is not None
+        finally:
+            set_shared_pool(None)
+            pool.close()
+        assert get_shared_pool() is None

@@ -1,0 +1,164 @@
+"""Concurrent-writer safety of the persistent result store.
+
+The service daemon appends from several threads, and independent CLI
+processes may share one cache directory with a running daemon.  These
+tests stress both paths and pin the load-time semantics: atomic whole
+lines, first-record-wins dedup, and merge-on-reload.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.orchestrator.store import ResultStore
+from repro.sim.results import SimResult
+
+
+def make_result(workload: str, tag: int) -> SimResult:
+    return SimResult(
+        config="CELLO", workload=workload, total_macs=1000 + tag,
+        dram_read_bytes=64 * tag, dram_write_bytes=32 * tag,
+        compute_s=1e-6, memory_s=2e-6, onchip_accesses={"chord": tag},
+    )
+
+
+def make_key(workload: str, tag: int):
+    """A traffic-key-shaped tuple (workload at position 1, like
+    :func:`repro.orchestrator.store.result_key` produces)."""
+    return ("CELLO", workload, 4 << 20, 16, 8, 64, 0.125, 32768, tag)
+
+
+def _process_writer(directory: str, worker_id: int, n_private: int,
+                    n_shared: int) -> None:
+    """One writer process: private keys plus keys every worker writes."""
+    store = ResultStore(directory)
+    for i in range(n_private):
+        store.put(make_key(f"w{worker_id}", i), make_result(f"w{worker_id}", i))
+    for i in range(n_shared):
+        # Same key AND same payload from every worker: simulations are
+        # deterministic, so racing writers only duplicate, never conflict.
+        store.put(make_key("shared", i), make_result("shared", i))
+
+
+class TestMultiprocessStress:
+    N_WORKERS = 4
+    N_PRIVATE = 40
+    N_SHARED = 12
+
+    def test_concurrent_process_writers(self, tmp_path):
+        directory = str(tmp_path / "store")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("no fork start method on this platform")
+        procs = [
+            ctx.Process(target=_process_writer,
+                        args=(directory, w, self.N_PRIVATE, self.N_SHARED))
+            for w in range(self.N_WORKERS)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        # Every line on disk parses whole — no torn interleavings.
+        store = ResultStore(directory)
+        lines = store.path.read_text(encoding="utf-8").splitlines()
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"v", "key", "result"}
+
+        distinct = self.N_WORKERS * self.N_PRIVATE + self.N_SHARED
+        assert len(store) == distinct
+        assert store.stale == 0
+        # Shared keys raced: whatever extra lines landed are counted as
+        # duplicates and skipped on load.
+        assert store.duplicates == len(lines) - distinct
+        counts = store.workload_counts()
+        assert counts["shared"] == self.N_SHARED
+        for w in range(self.N_WORKERS):
+            assert counts[f"w{w}"] == self.N_PRIVATE
+        # Loaded values round-trip.
+        got = store.get(make_key("shared", 3))
+        assert got is not None
+        assert got.to_dict() == make_result("shared", 3).to_dict()
+
+
+class TestThreadedWriters:
+    def test_concurrent_thread_writers_one_store(self, tmp_path):
+        """The daemon path: many threads share one ResultStore object."""
+        store = ResultStore(tmp_path / "store")
+        n_threads, n_each = 8, 30
+
+        def writer(worker_id):
+            for i in range(n_each):
+                store.put(make_key(f"t{worker_id}", i),
+                          make_result(f"t{worker_id}", i))
+                store.put(make_key("common", i), make_result("common", i))
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(store) == n_threads * n_each + n_each
+        # A fresh load sees exactly the same index (every line whole, the
+        # common keys written once thanks to the in-process index check).
+        fresh = ResultStore(tmp_path / "store")
+        assert len(fresh) == len(store)
+        assert fresh.duplicates == 0
+
+
+class TestLoadSemantics:
+    def test_duplicate_keys_first_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = make_key("dup", 0)
+        store.put(key, make_result("dup", 1))
+        # Forge a second record for the same key directly on disk, as a
+        # racing process that lost the append race would have.
+        record = {"v": store.schema_version,
+                  "key": list(key),
+                  "result": make_result("dup", 2).to_dict()}
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+        fresh = ResultStore(tmp_path / "store")
+        assert len(fresh) == 1
+        assert fresh.duplicates == 1
+        assert fresh.get(key).total_macs == make_result("dup", 1).total_macs
+
+    def test_reload_merges_external_appends(self, tmp_path):
+        a = ResultStore(tmp_path / "store")
+        a.put(make_key("mine", 0), make_result("mine", 0))
+        b = ResultStore(tmp_path / "store")
+        b.put(make_key("theirs", 0), make_result("theirs", 0))
+
+        assert a.get(make_key("theirs", 0)) is None
+        assert a.reload() == 1
+        assert a.get(make_key("theirs", 0)) is not None
+        assert a.get(make_key("mine", 0)) is not None
+        # Reloading again is a no-op.
+        assert a.reload() == 0
+
+    def test_reload_keeps_memory_only_entries(self, tmp_path, capsys):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("file, not a directory")
+        store = ResultStore(blocked / "store")
+        store.put(make_key("mem", 0), make_result("mem", 0))  # write fails
+        capsys.readouterr()
+        assert store.reload() == 0
+        assert store.get(make_key("mem", 0)) is not None
+
+    def test_describe_reports_per_workload_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for i in range(3):
+            store.put(make_key("cg/fv1/N=1", i), make_result("cg/fv1/N=1", i))
+        store.put(make_key("gnn/cora", 0), make_result("gnn/cora", 0))
+        text = store.describe()
+        assert "schema version:" in text
+        assert "cg/fv1/N=1" in text and "3 entries" in text
+        assert "gnn/cora" in text and "1 entry" in text
