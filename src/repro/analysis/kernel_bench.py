@@ -186,6 +186,55 @@ def bench_cache_engine(iterations: int) -> Dict[str, float]:
     return {"seconds": seconds, "dram_bytes": out["dram"]}
 
 
+def bench_analytic_eval(evals: int) -> Dict[str, float]:
+    """Analytic fast path vs the full simulated path, per tuner point.
+
+    Measures what ``repro tune --fidelity hybrid`` actually buys: pricing
+    one search point by the compiled closed-form model (compile once,
+    evaluate ``evals`` times) against rebuilding the DAG and replaying
+    the schedule engine from scratch (``runner.clear_cache()`` between
+    runs — a fresh point never hits the memo).  The workload is the
+    paper's tuner showcase at the default 4 MiB capacity, i.e. the
+    closed-form regime the search spends nearly all its budget in.
+
+    ``analytic_over_simulated`` is gated by ``tools/check_bench.py``
+    (``--min-analytic-speedup``, default 100x).
+    """
+    from ..analytic import model_for
+    from ..baselines import runner
+    from ..workloads.registry import resolve_workload
+
+    cfg = AcceleratorConfig()
+    workload = resolve_workload("gmres/fv1/m=8/N=1")
+    model = model_for(workload, "CELLO", cfg)  # compile outside the clock
+
+    def run_analytic() -> None:
+        for _ in range(evals):
+            model.evaluate("CELLO", None, cfg)
+
+    def run_simulated() -> None:
+        for _ in range(evals):
+            runner.clear_cache()
+            runner.run_workload_config(workload, "CELLO", cfg)
+
+    analytic_s = _timed(run_analytic)
+    simulated_s = _timed(run_simulated)
+    runner.clear_cache()
+    analytic_rate = evals / analytic_s if analytic_s else 0.0
+    simulated_rate = evals / simulated_s if simulated_s else 0.0
+    return {
+        "evals": evals,
+        "analytic_s": analytic_s,
+        "simulated_s": simulated_s,
+        "analytic_evals_per_s": analytic_rate,
+        "simulated_evals_per_s": simulated_rate,
+        "analytic_over_simulated": (
+            analytic_rate / simulated_rate if simulated_rate
+            else float("inf")
+        ),
+    }
+
+
 def run_kernel_bench(quick: bool = False) -> Dict:
     """Run every hot-path bench; ``quick`` shrinks workloads ~10x for CI."""
     cache_accesses = 200_000 if quick else 2_000_000
@@ -200,6 +249,9 @@ def run_kernel_bench(quick: bool = False) -> Dict:
     )
     results["cache_engine_g1"] = bench_cache_engine(
         iterations=2 if quick else 8
+    )
+    results["analytic_eval"] = bench_analytic_eval(
+        evals=3 if quick else 20
     )
     return {
         "schema": BENCH_SCHEMA,
@@ -241,5 +293,8 @@ def render_bench(report: Dict) -> str:
         f"({res['schedule_engine']['seconds'] * 1e3:.1f} ms)",
         f"cache engine g=1: {res['cache_engine_g1']['seconds'] * 1e3:.1f} ms "
         f"({res['cache_engine_g1']['dram_bytes'] / 1e6:.1f} MB DRAM)",
+        f"analytic eval:   {res['analytic_eval']['analytic_evals_per_s']:.0f}"
+        f" evals/s vs {res['analytic_eval']['simulated_evals_per_s']:.1f} "
+        f"simulated — {res['analytic_eval']['analytic_over_simulated']:.0f}x",
     ]
     return table + "\n" + "\n".join(extra)

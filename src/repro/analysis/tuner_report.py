@@ -59,6 +59,8 @@ def render_tune_result(tr: TuneResult) -> str:
             tags.append("best")
         if e.point == tr.incumbent.point:
             tags.append("fixed CELLO")
+        if e.fidelity != "exact":
+            tags.append(e.fidelity)
         rows.append(_knob_cells(e.point) + _objective_cells(e, tr.objectives)
                     + ["+".join(tags)])
     if tr.incumbent.point not in front_points:
@@ -82,7 +84,33 @@ def render_tune_result(tr: TuneResult) -> str:
         f"searched best vs fixed CELLO: {speedup:.2f}x runtime, "
         f"{dram_cut:.2f}x DRAM traffic headroom"
     )
-    return table + "\n" + summary
+    lines = [table, summary]
+    if tr.fidelity != "exact":
+        lines.append(render_fidelity_line(tr))
+    return "\n".join(lines)
+
+
+#: Error bound the differential harness pins the analytic model to; a
+#: hybrid run whose observed error exceeds it is flagged (and the CI
+#: fidelity-smoke job greps for the "within" wording).
+ANALYTIC_ERROR_BOUND = 0.02
+
+
+def render_fidelity_line(tr: TuneResult) -> str:
+    """One greppable line summarising a reduced-fidelity run."""
+    err = tr.analytic_max_rel_error
+    if err is None:
+        err_txt = "max analytic error n/a (no prediction re-simulated)"
+    elif err <= ANALYTIC_ERROR_BOUND:
+        err_txt = (f"max analytic error {err:.4%} "
+                   f"(within {ANALYTIC_ERROR_BOUND:.0%} bound)")
+    else:
+        err_txt = (f"max analytic error {err:.4%} "
+                   f"(EXCEEDS {ANALYTIC_ERROR_BOUND:.0%} bound)")
+    return (
+        f"fidelity: {tr.fidelity} — {tr.n_analytic} analytic-priced "
+        f"evaluation(s), {tr.n_simulations} new simulation(s); {err_txt}"
+    )
 
 
 def tune_results_json(results: Sequence[TuneResult]) -> str:

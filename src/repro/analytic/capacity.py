@@ -1,0 +1,221 @@
+"""CHORD capacity response: closed form when the working set fits, a
+tensor-granularity prefix recurrence when it does not.
+
+CHORD's policies are defined on contiguous tensor prefixes, so its DRAM
+traffic is a piecewise-linear function of data-array capacity: every
+event moves a ``min``/``max`` of linear byte quantities.  This module
+evaluates that function *without a trace*, at two fidelities:
+
+* :func:`no_pressure_peaks` computes the peak resident footprint (bytes
+  and tensor count) assuming nothing ever spills.  When capacity and
+  index-table entries both cover the peak, traffic is the pure closed
+  form — cold first-reads plus program-output drains — and evaluation is
+  O(1) per point (the sums were folded at compile time).
+* :func:`replay_chord` runs the prefix recurrence over the compiled
+  ``(kind, tensor, op_index)`` event stream: PRELUDE head-fill,
+  RIFF next-use-distance/frequency victim selection, tail eviction with
+  dirty-overlap writeback, clean read-miss re-extension, and explicit
+  retirement — the exact arithmetic of
+  :class:`repro.chord.buffer.ChordBuffer`, at O(events × residents)
+  with no address map, stats objects, or history recording.
+
+Both paths agree wherever their domains overlap (the differential suite
+asserts it); the recurrence is the general case and the closed form is
+the fast path the hybrid tuner leans on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .canonical import EV_READ, EV_RETIRE, EV_WRITE, ChordEvent
+
+
+@dataclass
+class ChordTally:
+    """DRAM traffic attributed to CHORD over one evaluation."""
+
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    #: Per-tensor-index attribution, same keys as ``ChordBuffer.per_tensor``
+    #: (bytes: hit / miss / spill / writeback).  Only filled on request.
+    per_tensor: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+
+def no_pressure_peaks(
+    events: Sequence[ChordEvent],
+    totals: Sequence[int],
+    consumers: Sequence[Tuple[int, ...]],
+    explicit_retire: bool,
+) -> Tuple[int, int]:
+    """Peak resident (bytes, tensor count) assuming infinite capacity.
+
+    If a real buffer covers both peaks, no PRELUDE spill, RIFF steal, or
+    index-table bypass can occur, so the closed-form terms are exact.
+    """
+    resident: Dict[int, int] = {}
+    used = peak_bytes = peak_count = 0
+    for kind, tid, op_index in events:
+        if kind == EV_WRITE:
+            if tid not in resident:
+                resident[tid] = totals[tid]
+                used += totals[tid]
+        elif kind == EV_READ:
+            if tid not in resident:
+                cs = consumers[tid]
+                if bisect_right(cs, op_index) < len(cs):
+                    # Cold miss re-offered to PRELUDE (still has uses).
+                    resident[tid] = totals[tid]
+                    used += totals[tid]
+        elif kind == EV_RETIRE and explicit_retire:
+            freed = resident.pop(tid, 0)
+            used -= freed
+        if used > peak_bytes:
+            peak_bytes = used
+        if len(resident) > peak_count:
+            peak_count = len(resident)
+    return peak_bytes, peak_count
+
+
+def replay_chord(
+    events: Sequence[ChordEvent],
+    totals: Sequence[int],
+    consumers: Sequence[Tuple[int, ...]],
+    is_output: Sequence[bool],
+    capacity: int,
+    entries: int,
+    use_riff: bool,
+    explicit_retire: bool,
+    detail: bool = False,
+) -> ChordTally:
+    """Evaluate CHORD traffic under capacity pressure.
+
+    Mirrors ``ChordBuffer`` event-for-event at tensor granularity:
+    residency is a head prefix per tensor, dirty bytes a prefix of that,
+    and the RIFF priority of a tensor at op ``i`` is
+    ``(alive, -next_use_distance, remaining_frequency)`` — dead tensors
+    rank below everything, first-lowest wins ties (insertion order).
+    """
+    tally = ChordTally()
+    # tid -> [resident_end, dirty_end]; dict preserves insertion order,
+    # which is what breaks RIFF priority ties (strict-< scan).
+    residents: Dict[int, List[int]] = {}
+    used = 0
+
+    def account(tid: int, key: str, nbytes: int) -> None:
+        if not detail or nbytes <= 0:
+            return
+        rec = tally.per_tensor.setdefault(
+            tid, {"hit": 0, "miss": 0, "spill": 0, "writeback": 0}
+        )
+        rec[key] += nbytes
+
+    def priority(tid: int, op_index: int) -> Tuple[int, int, int]:
+        cs = consumers[tid]
+        j = bisect_right(cs, op_index)
+        if j == len(cs):
+            return (0, 0, 0)
+        return (1, op_index - cs[j], len(cs) - j)
+
+    def evict_tail(victim: int, nbytes: int) -> int:
+        nonlocal used
+        r = residents[victim]
+        take = min(nbytes, r[0])
+        if take <= 0:
+            return 0
+        new_end = r[0] - take
+        writeback = r[1] - new_end
+        if writeback > 0:
+            tally.dram_write_bytes += writeback
+            account(victim, "writeback", writeback)
+        r[0] = new_end
+        if r[1] > new_end:
+            r[1] = new_end
+        used -= take
+        if r[0] == 0:
+            del residents[victim]
+        return take
+
+    def insert(tid: int, nbytes: int, op_index: int, dirty: bool) -> int:
+        nonlocal used
+        r = residents.get(tid)
+        if r is None:
+            if len(residents) >= entries:
+                # Index table exhausted: the tensor bypasses CHORD.
+                return 0
+            r = [0, 0]
+            residents[tid] = r
+        inserted = min(nbytes, capacity - used)   # PRELUDE head fill
+        remaining = nbytes - inserted
+        if remaining > 0 and use_riff:
+            incoming = priority(tid, op_index)
+            while remaining > 0:
+                best_id = -1
+                best: Optional[Tuple[int, int, int]] = None
+                for vid in residents:
+                    if vid == tid:
+                        continue
+                    p = priority(vid, op_index)
+                    if best is None or p < best:
+                        best = p
+                        best_id = vid
+                if best is None or not best < incoming:
+                    break   # nothing strictly lower: spill the remainder
+                freed = evict_tail(best_id, remaining)
+                if freed == 0:
+                    break
+                inserted += freed
+                remaining -= freed
+        if inserted:
+            r[0] += inserted
+            used += inserted
+            if dirty:
+                r[1] = r[0]
+        if r[0] == 0:
+            del residents[tid]
+        return inserted
+
+    def write(tid: int, op_index: int) -> None:
+        n = totals[tid]
+        inserted = insert(tid, n, op_index, dirty=True)
+        spilled = n - inserted
+        if spilled:
+            tally.dram_write_bytes += spilled
+            account(tid, "spill", spilled)
+
+    def read(tid: int, op_index: int) -> None:
+        n = totals[tid]
+        r = residents.get(tid)
+        hit = min(n, r[0]) if r is not None else 0
+        miss = n - hit
+        account(tid, "hit", hit)
+        if miss:
+            tally.dram_read_bytes += miss
+            account(tid, "miss", miss)
+            cs = consumers[tid]
+            if bisect_right(cs, op_index) < len(cs):
+                insert(tid, miss, op_index, dirty=False)
+
+    def retire(tid: int) -> None:
+        nonlocal used
+        r = residents.get(tid)
+        if r is None:
+            return
+        if is_output[tid] and r[1]:
+            tally.dram_write_bytes += r[1]
+            account(tid, "writeback", r[1])
+        used -= r[0]
+        del residents[tid]
+
+    for kind, tid, op_index in events:
+        if kind == EV_READ:
+            read(tid, op_index)
+        elif kind == EV_WRITE:
+            write(tid, op_index)
+        elif kind == EV_RETIRE and explicit_retire:
+            retire(tid)
+    for tid in list(residents):
+        retire(tid)
+    return tally

@@ -1,0 +1,109 @@
+"""Per-tensor traffic terms: the symbolic layer of the analytic model.
+
+A compiled analytic model is, per tensor, a small sum of *terms* — each a
+byte count with a direction (read/write/both), an optional engine-knob
+gate, and a flag saying whether it only holds in the no-pressure
+(closed-form) CHORD regime.  The evaluator aggregates terms instead of
+re-deriving traffic, so the human-readable formula table
+(:func:`describe_formulas`) and the numbers the tuner ranks on are the
+same object — the model cannot drift from its own documentation.
+
+Term kinds
+----------
+``cold-read``
+    First touch of a cold program input staged through the register file.
+``direct-read`` / ``direct-write``
+    Operands routed straight to DRAM (no on-chip placement).
+``output-drain``
+    A program output living in RF/pipeline drains to DRAM exactly once.
+``swizzle``
+    Layout-transform round trip (read + write), gated on the
+    ``charge_swizzle`` engine knob.
+``chord-cold-read``
+    A cold tensor's first CHORD consumption misses entirely — exact in
+    the no-pressure regime, a lower bound under capacity pressure.
+``chord-drain``
+    A CHORD-resident program output writes back once — exact in the
+    no-pressure regime.
+``oracle-read`` / ``oracle-write``
+    The explicit-baseline oracle staging terms (Flexagon/FLAT/SET): one
+    read per consuming op, one write per production, covered tensors
+    skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+#: Direction of a term's traffic.
+READ = "read"
+WRITE = "write"
+BOTH = "both"
+
+#: Term kinds whose bytes only apply in the no-pressure CHORD regime
+#: (under pressure the capacity recurrence supersedes them).
+CLOSED_FORM_KINDS = ("chord-cold-read", "chord-drain")
+
+
+@dataclass(frozen=True)
+class Term:
+    """One additive traffic contribution of one tensor."""
+
+    kind: str
+    nbytes: int
+    direction: str
+    gated_by: str = ""    # engine-knob name ("charge_swizzle") or empty
+
+    def describe(self) -> str:
+        gate = f" if {self.gated_by}" if self.gated_by else ""
+        return f"{self.kind}: {self.nbytes} B {self.direction}{gate}"
+
+
+@dataclass(frozen=True)
+class TensorFormula:
+    """The closed-form traffic expression of one tensor.
+
+    ``capacity_dependent`` marks tensors that route through CHORD: their
+    closed-form terms hold when the working set fits, and the piecewise
+    capacity recurrence (:mod:`repro.analytic.capacity`) takes over when
+    it does not.
+    """
+
+    tensor: str
+    traffic_class: str
+    terms: Tuple[Term, ...]
+    capacity_dependent: bool
+
+    def read_bytes(self, charge_swizzle: bool = True,
+                   closed_form: bool = True) -> int:
+        return self._sum(READ, charge_swizzle, closed_form)
+
+    def write_bytes(self, charge_swizzle: bool = True,
+                    closed_form: bool = True) -> int:
+        return self._sum(WRITE, charge_swizzle, closed_form)
+
+    def _sum(self, direction: str, charge_swizzle: bool,
+             closed_form: bool) -> int:
+        total = 0
+        for t in self.terms:
+            if t.direction not in (direction, BOTH):
+                continue
+            if t.gated_by == "charge_swizzle" and not charge_swizzle:
+                continue
+            if t.kind in CLOSED_FORM_KINDS and not closed_form:
+                continue
+            total += t.nbytes
+        return total
+
+    def describe(self) -> str:
+        dep = " [capacity-dependent]" if self.capacity_dependent else ""
+        parts = "; ".join(t.describe() for t in self.terms) or "no DRAM traffic"
+        return f"{self.tensor} ({self.traffic_class}){dep}: {parts}"
+
+
+def describe_formulas(formulas: Iterable[TensorFormula]) -> str:
+    """Render the per-tensor formula table (the model's audit trail)."""
+    lines = ["Analytic traffic formulas (per tensor):"]
+    lines.extend(f"  {f.describe()}" for f in formulas)
+    return "\n".join(lines)

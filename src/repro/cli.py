@@ -78,7 +78,14 @@ EXPERIMENTS: Dict[str, Callable[[int], str]] = {
     "table3": lambda jobs: table03_buffers.report(),
     "sec6b": lambda jobs: sec6b_searchspace.report(),
     "autotune": lambda jobs: tune_study.report(jobs=jobs),
+    "fidelity": lambda jobs: _fidelity_report(jobs),
 }
+
+
+def _fidelity_report(jobs: int) -> str:
+    from .analysis.fidelity_report import report
+
+    return report(jobs=jobs)
 
 DESCRIPTIONS: Dict[str, str] = {
     "ext": "extension workloads (transformer/GMRES/multigrid) vs baselines",
@@ -98,6 +105,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "table3": "buffer mechanism matrix (live-verified)",
     "sec6b": "buffer-allocation search-space sizes",
     "autotune": "co-design autotuning study: searched best vs fixed CELLO",
+    "fidelity": "analytic model audit: predicted vs simulated DRAM traffic",
 }
 
 
@@ -358,6 +366,13 @@ def _tune_main(argv: List[str]) -> int:
         help="add the Flex+LRU/BRRIP/SRRIP cache policies to the space",
     )
     parser.add_argument(
+        "--fidelity", default="exact", choices=("exact", "analytic", "hybrid"),
+        help="evaluation fidelity: exact simulates everything, analytic "
+             "prices supported points by the closed-form model, hybrid "
+             "simulates only the analytically non-dominated survivors "
+             "(default exact; see docs/analytic.md)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the full results as JSON to PATH",
     )
@@ -396,6 +411,7 @@ def _tune_main(argv: List[str]) -> int:
                     strategy=make_strategy(args.strategy, budget=args.budget,
                                            seed=args.seed),
                     objectives=objectives, jobs=jobs,
+                    fidelity=args.fidelity,
                 ))
             except (KeyError, ValueError) as exc:
                 print(f"tune failed for {w!r}: {exc}", file=sys.stderr)

@@ -21,6 +21,7 @@ from .protocol import (
     decode_message,
     default_port,
     encode_message,
+    predict_request,
     sweep_request,
     tune_request,
 )
@@ -121,7 +122,14 @@ class ServiceClient:
         except OSError as exc:
             raise ServiceError(f"receive failed: {exc}") from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            # EOF mid-conversation: the daemon went away (stopped,
+            # restarted, or crashed) between our request and its reply.
+            raise ServiceConnectionError(
+                f"the repro service at {self.host}:{self.port} closed the "
+                "connection mid-conversation — the daemon likely stopped "
+                "or restarted; completed simulations are in its result "
+                "store, so reconnect and retry the submission (restart "
+                "the daemon with 'repro serve' if it is down)")
         if len(line) > MAX_LINE_BYTES or not line.endswith(b"\n"):
             raise ServiceError(
                 f"server sent a line exceeding {MAX_LINE_BYTES} bytes")
@@ -142,6 +150,21 @@ class ServiceClient:
 
     def ping(self) -> Dict[str, object]:
         return self.request({"op": "ping"})
+
+    def predict(self, workload: str, config: str,
+                sram_mb: float = 4.0,
+                bandwidth_gb: Optional[float] = None,
+                entries: Optional[int] = None) -> Dict[str, object]:
+        """Analytic traffic prediction of one point (no simulation).
+
+        Returns the raw ``predict`` response: ``result`` holds the
+        serialised :class:`~repro.sim.results.SimResult`, ``regime`` the
+        analytic evaluation regime.  Raises :class:`ServiceError` for
+        unsupported configs (cache policies simulate instead).
+        """
+        return self.request(predict_request(
+            workload, config, sram_mb=sram_mb, bandwidth_gb=bandwidth_gb,
+            entries=entries))
 
     def jobs(self) -> List[Dict[str, object]]:
         return list(self.request({"op": "jobs"})["jobs"])  # type: ignore[arg-type]

@@ -14,6 +14,8 @@ ping        liveness + protocol version (single ``pong`` response)
 simulate    one (workload, config) point — sugar for a 1-point sweep
 sweep       a (workloads × configs × sram × bandwidth) grid
 tune        a co-design autotuning run (:func:`repro.tuner.tune`)
+predict     analytic traffic prediction of one point (single response;
+            never touches the pool or the queue — :mod:`repro.analytic`)
 jobs        snapshot of the server's job table (single response)
 stats       server / store / pool counters (single response)
 cancel      stop a running sweep job by id (single response)
@@ -44,7 +46,8 @@ from ..hw.config import GB, MIB
 from ..orchestrator.spec import SweepSpec
 
 #: Bump on any wire-visible change (ops, field names, framing).
-PROTOCOL_VERSION = 1
+#: v2 added the ``predict`` op.
+PROTOCOL_VERSION = 2
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -56,7 +59,7 @@ MAX_LINE_BYTES = 1 << 20
 #: Ops that stream multiple responses (job submissions).
 SUBMIT_OPS = ("simulate", "sweep", "tune")
 #: Ops answered by exactly one response line.
-QUERY_OPS = ("ping", "jobs", "stats", "cancel", "shutdown")
+QUERY_OPS = ("ping", "predict", "jobs", "stats", "cancel", "shutdown")
 KNOWN_OPS = SUBMIT_OPS + QUERY_OPS
 
 
@@ -163,6 +166,23 @@ def tune_request(workload: str,
     return req
 
 
+def predict_request(workload: str, config: str,
+                    sram_mb: float = 4.0,
+                    bandwidth_gb: Optional[float] = None,
+                    entries: Optional[int] = None) -> Dict[str, object]:
+    req: Dict[str, object] = {
+        "op": "predict",
+        "workload": workload,
+        "config": config,
+        "sram_mb": float(sram_mb),
+    }
+    if bandwidth_gb is not None:
+        req["bandwidth_gb"] = float(bandwidth_gb)
+    if entries is not None:
+        req["entries"] = int(entries)
+    return req
+
+
 # -- request validation (server side, shared with tests) -----------------------
 
 
@@ -223,6 +243,44 @@ def parse_tune_fields(req: Mapping[str, object]) -> Dict[str, object]:
         "sram_mb": sram_mb,
         "entries": [int(e) for e in entries],
         "include_baselines": bool(req.get("include_baselines", False)),
+    }
+
+
+def parse_predict_fields(req: Mapping[str, object]) -> Dict[str, object]:
+    """Type-validate a ``predict`` request's fields.
+
+    Config names are validated here (static registry); workload
+    resolvability and analytic-model support are the server's errors.
+    """
+    workload = req.get("workload")
+    if not isinstance(workload, str) or not workload.strip():
+        raise ProtocolError("'workload' must be a workload name")
+    config = req.get("config")
+    if not isinstance(config, str) or not config.strip():
+        raise ProtocolError("'config' must be a configuration name")
+    config_error = unknown_config_error([config])
+    if config_error is not None:
+        raise ProtocolError(config_error)
+    sram = req.get("sram_mb", 4.0)
+    if isinstance(sram, bool) or not isinstance(sram, (int, float)) or sram <= 0:
+        raise ProtocolError("'sram_mb' must be a positive number")
+    bandwidth = req.get("bandwidth_gb")
+    if bandwidth is not None and (
+            isinstance(bandwidth, bool)
+            or not isinstance(bandwidth, (int, float)) or bandwidth <= 0):
+        raise ProtocolError("'bandwidth_gb' must be a positive number")
+    entries = req.get("entries")
+    if entries is not None and (isinstance(entries, bool)
+                                or not isinstance(entries, int)
+                                or entries < 1):
+        raise ProtocolError("'entries' must be a positive integer")
+    return {
+        "workload": workload,
+        "config": config,
+        "sram_bytes": int(float(sram) * MIB),
+        "bandwidth_bytes_per_s": (None if bandwidth is None
+                                  else float(bandwidth) * GB),
+        "entries": entries,
     }
 
 

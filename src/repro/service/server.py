@@ -53,6 +53,7 @@ from .protocol import (
     ProtocolError,
     default_port,
     encode_message,
+    parse_predict_fields,
     parse_request,
     parse_tune_fields,
     request_to_spec,
@@ -256,6 +257,8 @@ class SimulationService:
                 store_stats = await self._loop.run_in_executor(
                     None, self._store_stats)
             await self._send(writer, self._stats_msg(store_stats))
+        elif op == "predict":
+            await self._handle_predict(req, writer)
         elif op == "cancel":
             await self._handle_cancel(req, writer)
         elif op == "shutdown":
@@ -287,6 +290,65 @@ class SimulationService:
         else:
             job.cancel_event.set()
             await self._send(writer, {"type": "ok", "job": job.id})
+
+    async def _handle_predict(self, req: Dict[str, object],
+                              writer: asyncio.StreamWriter) -> None:
+        """Analytic prediction: single response, never enters the queue
+        or the pool — the whole point of the op is to skip them."""
+        assert self._loop is not None
+        try:
+            fields = parse_predict_fields(req)
+            workload = str(fields["workload"])
+            if not is_resolvable(workload):
+                raise ProtocolError(
+                    f"unknown workload {workload!r}; see 'repro "
+                    "list-workloads'")
+        except ProtocolError as exc:
+            await self._send(writer, {"type": "error", "job": None,
+                                      "error": str(exc)})
+            return
+        try:
+            # Model compilation can take a few milliseconds the first
+            # time; keep the event loop responsive.
+            evaluation = await self._loop.run_in_executor(
+                None, functools.partial(self._predict, fields))
+        except Exception as exc:
+            await self._send(writer, {"type": "error", "job": None,
+                                      "error": str(exc)})
+            return
+        await self._send(writer, {
+            "type": "predict",
+            "workload": fields["workload"],
+            "config": fields["config"],
+            "regime": evaluation.regime,
+            "fidelity": "analytic",
+            "result": evaluation.result.to_dict(),
+        })
+
+    @staticmethod
+    def _predict(fields: Dict[str, object]):
+        import dataclasses
+
+        from ..analytic import AnalyticUnsupported, predict_workload_config
+        from ..hw.config import default_config
+
+        cfg = default_config(None).with_sram(int(fields["sram_bytes"]))  # type: ignore[arg-type]
+        overrides: Dict[str, object] = {}
+        if fields["bandwidth_bytes_per_s"] is not None:
+            overrides["dram_bandwidth_bytes_per_s"] = float(
+                fields["bandwidth_bytes_per_s"])  # type: ignore[arg-type]
+        if fields["entries"] is not None:
+            overrides["chord_entries"] = int(fields["entries"])  # type: ignore[arg-type]
+        if overrides:
+            cfg = dataclasses.replace(cfg, **overrides)  # type: ignore[arg-type]
+        try:
+            return predict_workload_config(
+                resolve_workload(str(fields["workload"])),
+                str(fields["config"]), cfg)
+        except AnalyticUnsupported as exc:
+            raise RuntimeError(
+                f"{exc}; submit a 'simulate' job for exact results"
+            ) from exc
 
     def _store_stats(self) -> Dict[str, object]:
         """Store view for the stats op; runs on an executor thread."""

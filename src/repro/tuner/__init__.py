@@ -45,9 +45,10 @@ from .strategies import (
     SearchStrategy,
     make_strategy,
 )
-from .tuner import TUNE_SCHEMA_VERSION, TuneEval, TuneResult, tune
+from .tuner import FIDELITIES, TUNE_SCHEMA_VERSION, TuneEval, TuneResult, tune
 
 __all__ = [
+    "FIDELITIES",
     "DEFAULT_OBJECTIVES",
     "OBJECTIVES",
     "FrontEntry",

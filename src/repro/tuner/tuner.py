@@ -13,6 +13,20 @@ tuner results are byte-identical to direct serial engine runs, repeat
 invocations against a persistent :class:`ResultStore` perform **zero**
 re-simulations, and a tuned point is indistinguishable from any other
 sweep point on disk.
+
+Three fidelities select how a batch is priced (``docs/analytic.md``):
+
+* ``exact`` — every point simulates (the default, and the behaviour of
+  every earlier revision);
+* ``analytic`` — every analytically supported point is priced by the
+  closed-form model (:mod:`repro.analytic`); unsupported cache-policy
+  points, and the incumbent, still simulate;
+* ``hybrid`` — the batch is *ranked* analytically, and only the
+  analytically non-dominated survivors (plus unsupported points and the
+  incumbent) are re-priced by the exact simulator.  Pruned points keep
+  their analytic evaluation (``TuneEval.fidelity == "analytic"``), and
+  the observed |analytic − exact| relative DRAM error over re-simulated
+  survivors is reported on the :class:`TuneResult`.
 """
 
 from __future__ import annotations
@@ -36,7 +50,11 @@ from .strategies import RandomStrategy, SearchStrategy
 
 #: Schema tag for serialised tune results (independent of the result
 #: store's traffic schema; bump when the encoding below changes shape).
-TUNE_SCHEMA_VERSION = 1
+#: v2 added the fidelity fields; v1 payloads still load (exact fidelity).
+TUNE_SCHEMA_VERSION = 2
+
+#: Accepted values of ``tune(..., fidelity=...)``.
+FIDELITIES = ("exact", "analytic", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -48,6 +66,9 @@ class TuneEval:
     config: str
     objectives: Mapping[str, float]
     result: SimResult
+    #: "exact" when the result came from the simulator, "analytic" when
+    #: it is a closed-form prediction (hybrid-pruned or analytic runs).
+    fidelity: str = "exact"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -55,6 +76,7 @@ class TuneEval:
             "config": self.config,
             "objectives": dict(self.objectives),
             "result": self.result.to_dict(),
+            "fidelity": self.fidelity,
         }
 
     @classmethod
@@ -65,6 +87,7 @@ class TuneEval:
             objectives={str(k): float(v)
                         for k, v in dict(data["objectives"]).items()},  # type: ignore[arg-type]
             result=SimResult.from_dict(data["result"]),  # type: ignore[arg-type]
+            fidelity=str(data.get("fidelity", "exact")),
         )
 
 
@@ -78,6 +101,13 @@ class TuneResult:
     evaluations: Tuple[TuneEval, ...]
     incumbent: TuneEval
     n_simulations: int
+    #: Fidelity the run was asked for ("exact" / "analytic" / "hybrid").
+    fidelity: str = "exact"
+    #: Evaluations priced by the analytic model instead of the simulator.
+    n_analytic: int = 0
+    #: max |analytic − exact| / exact over DRAM bytes of every point that
+    #: was both predicted and re-simulated; None when nothing was both.
+    analytic_max_rel_error: Optional[float] = None
 
     @property
     def best(self) -> TuneEval:
@@ -119,14 +149,18 @@ class TuneResult:
             "evaluations": [e.to_dict() for e in self.evaluations],
             "incumbent": self.incumbent.to_dict(),
             "n_simulations": self.n_simulations,
+            "fidelity": self.fidelity,
+            "n_analytic": self.n_analytic,
+            "analytic_max_rel_error": self.analytic_max_rel_error,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "TuneResult":
-        if data.get("v") != TUNE_SCHEMA_VERSION:
+        if data.get("v") not in (1, TUNE_SCHEMA_VERSION):
             raise ValueError(
                 f"tune-result schema {data.get('v')!r} != {TUNE_SCHEMA_VERSION}"
             )
+        err = data.get("analytic_max_rel_error")
         return cls(
             workload=str(data["workload"]),
             strategy=str(data["strategy"]),
@@ -135,6 +169,9 @@ class TuneResult:
                               for e in data["evaluations"]),  # type: ignore[union-attr]
             incumbent=TuneEval.from_dict(data["incumbent"]),  # type: ignore[arg-type]
             n_simulations=int(data["n_simulations"]),  # type: ignore[arg-type]
+            fidelity=str(data.get("fidelity", "exact")),
+            n_analytic=int(data.get("n_analytic", 0)),  # type: ignore[arg-type]
+            analytic_max_rel_error=None if err is None else float(err),  # type: ignore[arg-type]
         )
 
 
@@ -146,18 +183,96 @@ class _BatchEvaluator:
     tiers / the persistent store), then assembled serially — the same
     two-phase discipline every experiment module uses, so results are
     byte-identical to plain serial engine runs.
+
+    Under ``hybrid`` fidelity a batch is first priced by the analytic
+    model; only the analytically non-dominated survivors (plus points
+    the model cannot price, and the incumbent) reach the simulator.
+    Under ``analytic`` fidelity supported points keep their predictions
+    outright.  In both modes every analytic/exact DRAM pair observed is
+    folded into ``analytic_max_rel_error``.
     """
 
     def __init__(self, workload: Workload, objectives: Tuple[str, ...],
-                 base_cfg: AcceleratorConfig, jobs: Optional[int]) -> None:
+                 base_cfg: AcceleratorConfig, jobs: Optional[int],
+                 fidelity: str = "exact") -> None:
         self.workload = workload
         self.objectives = objectives
         self.base_cfg = base_cfg
         self.jobs = jobs
+        self.fidelity = fidelity
         self.cache: Dict[TunePoint, TuneEval] = {}
+        #: Points that must always be simulated (the incumbent: reported
+        #: speedups stay grounded in the exact simulator).
+        self.always_exact: set = set()
+        self.n_analytic = 0
+        self.analytic_max_rel_error: Optional[float] = None
+
+    def _predict(self, p: TunePoint) -> Optional[TuneEval]:
+        """Analytic evaluation of one point, or None when unsupported."""
+        from ..analytic import AnalyticUnsupported, predict_workload_config
+
+        cfg = p.accel_cfg(self.base_cfg)
+        try:
+            evaluation = predict_workload_config(
+                self.workload, p.config_name(), cfg)
+        except AnalyticUnsupported:
+            return None
+        return TuneEval(
+            point=p,
+            config=p.config_name(),
+            objectives=objective_values(
+                self.objectives, evaluation.result, cfg, p),
+            result=evaluation.result,
+            fidelity="analytic",
+        )
+
+    def _note_error(self, predicted: SimResult, exact: SimResult) -> None:
+        err = (abs(predicted.dram_bytes - exact.dram_bytes)
+               / max(exact.dram_bytes, 1))
+        if self.analytic_max_rel_error is None or err > self.analytic_max_rel_error:
+            self.analytic_max_rel_error = err
+
+    def _analytic_pass(self, todo: List[TunePoint]) -> List[TunePoint]:
+        """Price ``todo`` analytically; return the points that still need
+        the simulator (their predictions are kept for error tracking)."""
+        predicted: Dict[TunePoint, TuneEval] = {}
+        survivors: List[TunePoint] = []
+        for p in todo:
+            if p in self.always_exact:
+                survivors.append(p)
+                continue
+            e = self._predict(p)
+            if e is None:
+                survivors.append(p)      # no model: oracle fallback
+            else:
+                predicted[p] = e
+        if self.fidelity == "analytic":
+            for p, e in predicted.items():
+                self.cache[p] = e
+                self.n_analytic += 1
+            self._predictions = {}
+            return survivors
+        # Hybrid: simulate only the analytically non-dominated subset.
+        front = ParetoFront(self.objectives)
+        keep: List[TunePoint] = []
+        for p, e in predicted.items():
+            if front.add(p, e.config, e.objectives):
+                keep.append(p)
+        kept = set(keep)
+        for p, e in predicted.items():
+            if p in kept:
+                survivors.append(p)
+            else:
+                self.cache[p] = e
+                self.n_analytic += 1
+        self._predictions = {p: predicted[p] for p in kept}
+        return survivors
 
     def __call__(self, points: Sequence[TunePoint]) -> List[TuneEval]:
         todo = [p for p in points if p not in self.cache]
+        self._predictions: Dict[TunePoint, TuneEval] = {}
+        if todo and self.fidelity != "exact":
+            todo = self._analytic_pass(todo)
         if todo:
             if self.jobs is None or self.jobs > 1:
                 from ..orchestrator.parallel import prewarm
@@ -175,6 +290,9 @@ class _BatchEvaluator:
                 result = runner.run_workload_config(
                     self.workload, p.config_name(), cfg
                 )
+                prediction = self._predictions.get(p)
+                if prediction is not None:
+                    self._note_error(prediction.result, result)
                 self.cache[p] = TuneEval(
                     point=p,
                     config=p.config_name(),
@@ -191,6 +309,7 @@ def tune(
     objectives: Sequence[str] = DEFAULT_OBJECTIVES,
     base_cfg: Optional[AcceleratorConfig] = None,
     jobs: Optional[int] = 1,
+    fidelity: str = "exact",
 ) -> TuneResult:
     """Search the co-design space of ``workload``.
 
@@ -212,6 +331,11 @@ def tune(
         Hardware baseline the points perturb (bandwidth, MACs, …).
     jobs:
         Worker processes per batch (``None`` = one per core, 1 = serial).
+    fidelity:
+        ``"exact"`` simulates every point; ``"analytic"`` prices
+        supported points by the closed-form model; ``"hybrid"`` ranks
+        each batch analytically and simulates only the non-dominated
+        survivors.  The incumbent always simulates.
     """
     if isinstance(workload, str):
         workload = resolve_workload(workload)
@@ -219,8 +343,13 @@ def tune(
     strategy = strategy if strategy is not None else RandomStrategy()
     names = validate_objectives(objectives)
     base_cfg = default_config(base_cfg)
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; known: {', '.join(FIDELITIES)}"
+        )
 
-    evaluator = _BatchEvaluator(workload, names, base_cfg, jobs)
+    evaluator = _BatchEvaluator(workload, names, base_cfg, jobs, fidelity)
+    evaluator.always_exact.add(space.default_point())
     sims_before = runner.simulation_count()
     evals = strategy.run(space, evaluator)
     incumbent = evaluator([space.default_point()])[0]
@@ -239,4 +368,7 @@ def tune(
         evaluations=tuple(ordered),
         incumbent=incumbent,
         n_simulations=runner.simulation_count() - sims_before,
+        fidelity=fidelity,
+        n_analytic=evaluator.n_analytic,
+        analytic_max_rel_error=evaluator.analytic_max_rel_error,
     )

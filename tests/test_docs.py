@@ -70,7 +70,8 @@ class TestDocs:
     def test_key_docs_exist(self):
         for rel in ("README.md", "PAPER.md", "docs/architecture.md",
                     "docs/workloads.md", "docs/extending.md",
-                    "docs/tuner.md", "docs/testing.md"):
+                    "docs/tuner.md", "docs/testing.md",
+                    "docs/analytic.md"):
             assert (REPO_ROOT / rel).is_file(), rel
 
     def test_cross_links_present(self):
@@ -79,6 +80,13 @@ class TestDocs:
         assert "docs/extending.md" in readme
         assert "docs/tuner.md" in readme
         assert "docs/testing.md" in readme
+        assert "docs/analytic.md" in readme
         arch = (REPO_ROOT / "docs" / "architecture.md").read_text()
         assert "extending.md" in arch and "workloads.md" in arch
         assert "tuner.md" in arch and "testing.md" in arch
+        assert "analytic.md" in arch
+        tuner = (REPO_ROOT / "docs" / "tuner.md").read_text()
+        assert "analytic.md" in tuner
+        testing = (REPO_ROOT / "docs" / "testing.md").read_text()
+        assert "analytic.md" in testing
+        assert "test_analytic_differential.py" in testing

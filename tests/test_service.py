@@ -305,6 +305,134 @@ class TestServiceEndToEnd:
                 client.cancel(outcome.job_id)
 
 
+class TestPredict:
+    """The analytic ``predict`` op: single response, zero simulations."""
+
+    def test_predict_matches_direct_engine(self, server):
+        with server.client() as client:
+            reply = client.predict(WORKLOAD, "CELLO")
+        assert reply["type"] == "predict"
+        assert reply["fidelity"] == "analytic"
+        workload = resolve_workload(WORKLOAD)
+        direct = run_config("CELLO", workload.build(), AcceleratorConfig(),
+                            workload_name=workload.name,
+                            cache_granularity=None)
+        assert reply["result"]["dram_read_bytes"] == direct.dram_read_bytes
+        assert reply["result"]["dram_write_bytes"] == direct.dram_write_bytes
+        # The whole point of the op: nothing was simulated.
+        assert runner.simulation_count() == 0
+
+    def test_predict_capacity_point_changes_regime(self, server):
+        with server.client() as client:
+            big = client.predict("cg/fv1/N=16", "CELLO", sram_mb=16.0)
+            small = client.predict("cg/fv1/N=16", "CELLO", sram_mb=1.0)
+        assert small["regime"] == "recurrence"
+        assert big["regime"] in ("closed-form", "recurrence")
+        assert (small["result"]["dram_read_bytes"]
+                >= big["result"]["dram_read_bytes"])
+
+    def test_predict_unsupported_config_errors(self, server):
+        with server.client() as client:
+            with pytest.raises(ServiceError, match="no analytic model"):
+                client.predict(WORKLOAD, "Flex+LRU")
+        assert runner.simulation_count() == 0
+
+    def test_predict_unknown_workload_errors(self, server):
+        with server.client() as client:
+            with pytest.raises(ServiceError, match="unknown workload"):
+                client.predict("nope/zz", "CELLO")
+
+    def test_predict_bad_fields_error(self, server):
+        raw = TestWireErrors()
+        for payload, needle in (
+            (b'{"op": "predict", "workload": "cg/fv1/N=1", '
+             b'"config": "CELLO", "sram_mb": -1}\n', "sram_mb"),
+            (b'{"op": "predict", "workload": "cg/fv1/N=1", '
+             b'"config": "CELLO", "entries": 0}\n', "entries"),
+            (b'{"op": "predict", "workload": "cg/fv1/N=1", '
+             b'"config": "NotAConfig"}\n', "unknown config"),
+            (b'{"op": "predict", "workload": "cg/fv1/N=1"}\n', "config"),
+        ):
+            reply = raw._raw(server, payload)
+            assert reply["type"] == "error"
+            assert needle in reply["error"]
+
+
+class TestDisconnect:
+    """EOF mid-conversation must explain itself (daemon restarts)."""
+
+    def _half_open_server(self):
+        """A fake daemon that accepts, reads one line, then hangs up —
+        the client-visible shape of a daemon dying mid-stream."""
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+
+        def run():
+            conn, _ = sock.accept()
+            with conn:
+                conn.makefile("rb").readline()
+            sock.close()
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        return sock.getsockname()[1], t
+
+    def test_mid_stream_eof_names_the_daemon_and_retry(self):
+        port, t = self._half_open_server()
+        with ServiceClient(port=port, timeout=10) as client:
+            with pytest.raises(ServiceConnectionError) as info:
+                client.ping()
+        t.join(timeout=10)
+        text = str(info.value)
+        assert "stopped or restarted" in text
+        assert "retry" in text
+        assert "repro serve" in text
+
+    def test_submit_cli_reports_restart_guidance(self, capsys):
+        port, t = self._half_open_server()
+        assert main(["submit", "--port", str(port),
+                     "--workloads", WORKLOAD]) == 2
+        t.join(timeout=10)
+        err = capsys.readouterr().err
+        assert "submit failed" in err
+        assert "retry the submission" in err
+
+    def test_server_stop_mid_job_surfaces_service_error(self, tmp_path,
+                                                        monkeypatch):
+        """A real daemon stopping under a streaming sweep: the client
+        must get a ServiceError (either the explanatory EOF or a reset),
+        never a silent hang or an unhandled socket exception."""
+        _reset_runner()
+        original = SimulationService._execute_batch
+
+        def slow_batch(self, batch):
+            time.sleep(0.4)
+            return original(self, batch)
+
+        monkeypatch.setattr(SimulationService, "_execute_batch", slow_batch)
+        try:
+            srv = ServerThread(cache_dir=str(tmp_path / "cache"),
+                               max_batch=1)
+            with srv:
+                with srv.client() as client:
+                    client._send({"op": "sweep", "workloads": [WORKLOAD],
+                                  "configs": ["Flexagon", "CELLO", "FLAT",
+                                              "SET"]})
+                    accepted = client._recv()
+                    assert accepted["type"] == "accepted"
+                    srv.service.request_stop()
+                    with pytest.raises(ServiceError):
+                        while True:
+                            msg = client._recv()
+                            if msg["type"] in ("done", "cancelled"):
+                                break
+                            if msg["type"] == "error":
+                                raise ServiceError(str(msg.get("error")))
+        finally:
+            _reset_runner()
+
+
 class TestCancellation:
     def test_cancel_stops_a_running_job(self, tmp_path, monkeypatch):
         """Slow each batch down, cancel mid-job, expect a 'cancelled'

@@ -1,0 +1,181 @@
+"""Edge cases of the human-facing report renderers: empty job tables,
+failed-job rows, degenerate Pareto fronts, dominated incumbents, and the
+fidelity accounting line.
+
+The happy paths run constantly under the CLI and loopback suites; what
+breaks in the field is the empty/failed/degenerate input a renderer sees
+exactly once — so each of those gets pinned here.
+"""
+
+import dataclasses
+
+from repro.analysis.service_report import (
+    render_jobs,
+    render_service_stats,
+    summarize_sweep_outcome,
+    sweep_outcome_rows,
+)
+from repro.analysis.tuner_report import (
+    ANALYTIC_ERROR_BOUND,
+    render_fidelity_line,
+    render_tune_result,
+)
+from repro.hw.config import GB, MIB, AcceleratorConfig
+from repro.service.client import PointResult, SweepOutcome
+from repro.sim.perf import make_result
+from repro.tuner.space import TunePoint
+from repro.tuner.tuner import TuneEval, TuneResult
+
+
+def _result(dram_read=1000, dram_write=100):
+    return make_result(config="CELLO", workload="w", total_macs=10_000,
+                       dram_read_bytes=dram_read, dram_write_bytes=dram_write,
+                       cfg=AcceleratorConfig(), onchip_accesses={"T": 5_000})
+
+
+def _eval(runtime, dram, point=None, fidelity="exact"):
+    point = point or TunePoint()
+    # Memory-bound result whose traffic (and so runtime) tracks the dram
+    # objective, keeping the rendered headroom ratios exact.
+    return TuneEval(point=point, config=point.config_name(),
+                    objectives={"runtime": runtime, "dram": dram},
+                    result=_result(dram_read=int(dram * 1_000_000),
+                                   dram_write=0),
+                    fidelity=fidelity)
+
+
+def _tune_result(evaluations, incumbent, **kwargs):
+    defaults = dict(workload="w", strategy="grid",
+                    objectives=("runtime", "dram"),
+                    evaluations=tuple(evaluations), incumbent=incumbent,
+                    n_simulations=len(evaluations))
+    defaults.update(kwargs)
+    return TuneResult(**defaults)
+
+
+class TestJobsTable:
+    def test_empty_registry_renders_guidance_not_a_table(self):
+        out = render_jobs([])
+        assert out == "no jobs tracked (submit one with 'repro submit')"
+
+    def test_failed_job_row_shows_the_error(self):
+        out = render_jobs([
+            {"id": "j1", "kind": "sweep", "state": "done", "done": 4,
+             "total": 4, "simulations": 4, "summary": "ok"},
+            {"id": "j2", "kind": "sweep", "state": "error", "done": 1,
+             "total": 4, "error": "unknown workload 'nope'"},
+        ])
+        assert "Jobs: 2" in out
+        assert "unknown workload 'nope'" in out
+        assert "1/4" in out  # partial progress of the failed job
+
+    def test_row_tolerates_missing_fields(self):
+        # A job dict from an older/newer server may omit counters.
+        out = render_jobs([{"id": "j1"}])
+        assert "j1" in out and "0/0" in out
+
+
+class TestServiceStats:
+    def test_fresh_server_stats_do_not_divide_by_zero(self):
+        out = render_service_stats({"uptime_s": 0.0, "points_streamed": 0,
+                                    "simulations": 0})
+        assert "0.00 points/s" in out
+        assert "0% answered without simulating" in out
+        assert "jobs:            none" in out
+        assert "store:           disabled" in out
+
+    def test_store_and_broken_pool_sections(self):
+        out = render_service_stats({
+            "uptime_s": 10.0, "points_streamed": 20, "simulations": 5,
+            "jobs": {"done": 2, "error": 1},
+            "pool": {"jobs": 4, "batches": 3, "payloads": 20, "broken": True},
+            "store": {"entries": 7, "schema_version": 3,
+                      "directory": "/tmp/cache",
+                      "workloads": {"cg/fv1/N=1": 7}},
+        })
+        assert "[broken: serial fallback]" in out
+        assert "2 done, 1 error" in out
+        assert "7 entries" in out and "cg/fv1/N=1" in out
+        assert "75% answered without simulating" in out
+
+
+class TestSweepOutcome:
+    def _outcome(self, n_points):
+        points = [
+            PointResult(workload="w", config="CELLO", sram_bytes=4 * MIB,
+                        bandwidth_bytes_per_s=256 * GB,
+                        cache_granularity=None, result=_result())
+            for _ in range(n_points)
+        ]
+        return SweepOutcome(job_id="j9", points=points, simulations=1,
+                            hits=n_points - 1 if n_points else 0,
+                            coalesced=0, elapsed_s=0.25)
+
+    def test_summary_line_is_greppable(self):
+        line = summarize_sweep_outcome(self._outcome(3))
+        assert line == ("job j9: 3 points  simulations: 1  warm hits: 2  "
+                        "coalesced: 0  elapsed: 0.250s")
+
+    def test_empty_outcome_summarises_cleanly(self):
+        line = summarize_sweep_outcome(self._outcome(0))
+        assert "0 points" in line and "simulations: 1" in line
+
+    def test_rows_mirror_the_points(self):
+        rows = sweep_outcome_rows(self._outcome(2).points)
+        assert len(rows) == 2
+        assert rows[0][0] == "w" and rows[0][1] == "CELLO"
+        assert rows[0][2] == 4.0  # MiB
+
+
+class TestTuneResultRendering:
+    def test_single_point_front_renders(self):
+        only = _eval(10.0, 5.0)
+        out = render_tune_result(_tune_result([only], only))
+        assert "1 Pareto point(s) from 1 evaluation(s)" in out
+        assert "pareto+best+fixed CELLO" in out
+        assert "1.00x runtime" in out  # best == incumbent: no headroom
+
+    def test_dominated_incumbent_gets_its_own_row(self):
+        better = _eval(5.0, 2.0,
+                       point=TunePoint(sram_bytes=1 * MIB, chord_entries=4))
+        incumbent = _eval(10.0, 4.0)
+        out = render_tune_result(_tune_result([better, incumbent], incumbent))
+        assert "fixed CELLO (dominated)" in out
+        assert "2.00x runtime" in out and "2.00x DRAM" in out
+
+    def test_analytic_entries_are_tagged(self):
+        fast = _eval(5.0, 2.0,
+                     point=TunePoint(sram_bytes=1 * MIB, chord_entries=4),
+                     fidelity="analytic")
+        incumbent = _eval(10.0, 4.0)
+        tr = _tune_result([fast, incumbent], incumbent, fidelity="hybrid",
+                          n_analytic=1, analytic_max_rel_error=0.001)
+        out = render_tune_result(tr)
+        assert "pareto+best+analytic" in out
+        assert "fidelity: hybrid" in out
+
+    def test_exact_run_renders_no_fidelity_line(self):
+        only = _eval(10.0, 5.0)
+        out = render_tune_result(_tune_result([only], only))
+        assert "fidelity:" not in out
+
+
+class TestFidelityLine:
+    def _tr(self, err):
+        only = _eval(10.0, 5.0)
+        return _tune_result([only], only, fidelity="hybrid", n_analytic=7,
+                            analytic_max_rel_error=err, n_simulations=2)
+
+    def test_no_resimulated_prediction(self):
+        line = render_fidelity_line(self._tr(None))
+        assert "max analytic error n/a (no prediction re-simulated)" in line
+        assert "7 analytic-priced evaluation(s)" in line
+
+    def test_error_within_bound(self):
+        line = render_fidelity_line(self._tr(ANALYTIC_ERROR_BOUND))
+        assert "within 2% bound" in line and "EXCEEDS" not in line
+
+    def test_error_exceeding_bound_is_flagged(self):
+        line = render_fidelity_line(self._tr(0.05))
+        assert "EXCEEDS 2% bound" in line
+        assert "5.0000%" in line

@@ -1,0 +1,178 @@
+"""The CI quality gates themselves: package-coverage verification
+(``tools/check_coverage.py``) and the bench regression gate
+(``tools/check_bench.py``), including the analytic-speedup floor.
+
+The gates guard the repo; these tests guard the gates — a gate that
+silently stops failing is worse than no gate at all, so each check is
+exercised against synthetic reports on both sides of its threshold.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCoveragePackages:
+    def _report(self, tmp_path, covered, omit=(), dead=()):
+        files = {}
+        for pkg in covered:
+            if pkg in omit:
+                continue
+            files[f"src/repro/{pkg}/__init__.py"] = {
+                "summary": {"covered_lines": 0 if pkg in dead else 5}}
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps({"files": files}))
+        return str(path)
+
+    def test_every_package_is_listed(self):
+        packages = _tool("check_coverage").top_level_packages()
+        # The subsystems this gate exists to protect must all be present.
+        for pkg in ("analytic", "tuner", "service", "orchestrator",
+                    "analysis", "sim", "chord", "score"):
+            assert pkg in packages
+
+    def test_complete_report_passes(self, tmp_path, capsys):
+        cc = _tool("check_coverage")
+        path = self._report(tmp_path, cc.top_level_packages())
+        assert cc.verify_packages_json(path) == 0
+        assert "measured and exercised" in capsys.readouterr().out
+
+    def test_missing_package_fails(self, tmp_path, capsys):
+        cc = _tool("check_coverage")
+        path = self._report(tmp_path, cc.top_level_packages(),
+                            omit=("analytic",))
+        assert cc.verify_packages_json(path) == 1
+        err = capsys.readouterr().err
+        assert "src/repro/analytic/" in err and "missing" in err
+
+    def test_unexercised_package_fails(self, tmp_path, capsys):
+        cc = _tool("check_coverage")
+        path = self._report(tmp_path, cc.top_level_packages(),
+                            dead=("analytic",))
+        assert cc.verify_packages_json(path) == 1
+        assert "no line" in capsys.readouterr().err
+
+    def test_non_coverage_json_rejected(self, tmp_path, capsys):
+        cc = _tool("check_coverage")
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"results": {}}))
+        assert cc.verify_packages_json(str(path)) == 1
+        assert "not a coverage.py JSON report" in capsys.readouterr().err
+
+    def test_package_of_maps_files_to_packages(self):
+        cc = _tool("check_coverage")
+        assert cc.package_of(
+            str(REPO_ROOT / "src/repro/analytic/compiler.py")) == "analytic"
+        # Root modules (src/repro/cli.py) belong to no sub-package.
+        assert cc.package_of(str(REPO_ROOT / "src/repro/cli.py")) is None
+        assert cc.package_of("/somewhere/else/file.py") is None
+
+
+class TestBenchGate:
+    BASE = {
+        "results": {
+            "cache_lru": {"vector_accesses_per_s": 1e6,
+                          "reference_accesses_per_s": 1e5,
+                          "speedup": 10.0},
+            "analytic_eval": {"analytic_evals_per_s": 1e5,
+                              "simulated_evals_per_s": 100.0,
+                              "analytic_over_simulated": 1000.0},
+        }
+    }
+
+    def _fresh(self, **overrides):
+        fresh = json.loads(json.dumps(self.BASE))
+        fresh["results"]["analytic_eval"].update(overrides)
+        return fresh
+
+    def test_healthy_report_passes(self):
+        cb = _tool("check_bench")
+        assert cb.compare(self.BASE, self._fresh(), 10.0, 1.5, 100.0) == []
+
+    def test_analytic_speedup_floor_fails(self):
+        cb = _tool("check_bench")
+        problems = cb.compare(self.BASE,
+                              self._fresh(analytic_over_simulated=40.0),
+                              10.0, 1.5, 100.0)
+        assert any("analytic_over_simulated" in p for p in problems)
+
+    def test_missing_analytic_ratio_fails(self):
+        cb = _tool("check_bench")
+        fresh = self._fresh()
+        del fresh["results"]["analytic_eval"]["analytic_over_simulated"]
+        problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
+        assert any("analytic_over_simulated" in p for p in problems)
+
+    def test_rate_regression_still_caught(self):
+        cb = _tool("check_bench")
+        problems = cb.compare(self.BASE,
+                              self._fresh(analytic_evals_per_s=1e3),
+                              10.0, 1.5, 100.0)
+        assert any("analytic_evals_per_s" in p for p in problems)
+
+    def test_dropped_bench_still_caught(self):
+        cb = _tool("check_bench")
+        fresh = json.loads(json.dumps(self.BASE))
+        del fresh["results"]["analytic_eval"]
+        problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
+        assert any("missing from" in p for p in problems)
+
+    def test_committed_baseline_carries_the_analytic_bench(self):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_kernels.json").read_text())
+        entry = baseline["results"]["analytic_eval"]
+        assert entry["analytic_over_simulated"] >= 100.0
+        assert entry["analytic_evals_per_s"] > entry["simulated_evals_per_s"]
+
+
+class TestAnalyticBench:
+    def test_bench_analytic_eval_measures_both_paths(self):
+        from repro.analysis.kernel_bench import bench_analytic_eval
+
+        r = bench_analytic_eval(evals=2)
+        assert r["evals"] == 2
+        assert r["analytic_evals_per_s"] > 0
+        assert r["simulated_evals_per_s"] > 0
+        # The whole point of the fast path (gated at 100x in CI; tested
+        # looser here to keep this robust on loaded machines).
+        assert r["analytic_over_simulated"] > 10
+
+    def test_quick_bench_report_includes_analytic_eval(self):
+        from repro.analysis.kernel_bench import render_bench
+
+        report = {
+            "quick": True,
+            "results": {
+                "chord_events": {"events_per_s": 1e6},
+                "schedule_engine": {"ops_per_s": 1000.0, "seconds": 0.1},
+                "cache_engine_g1": {"seconds": 0.5, "dram_bytes": 1e7},
+                "analytic_eval": {"analytic_evals_per_s": 1e5,
+                                  "simulated_evals_per_s": 100.0,
+                                  "analytic_over_simulated": 1000.0},
+            },
+        }
+        out = render_bench(report)
+        assert "analytic eval" in out and "1000x" in out
+
+
+class TestCiWiring:
+    """The workflow file must keep invoking the gates (a gate nobody
+    calls protects nothing)."""
+
+    def test_ci_runs_the_gates(self):
+        ci = (REPO_ROOT / ".github/workflows/ci.yml").read_text()
+        assert "--verify-packages coverage.json" in ci
+        assert "--min-analytic-speedup 100" in ci
+        assert "fidelity-smoke:" in ci
+        assert "--fidelity hybrid" in ci
+        assert "within 2% bound" in ci

@@ -13,12 +13,17 @@ ride along:
   report (a silently dropped bench would otherwise pass forever);
 * the vectorised cache kernels must still beat the scalar reference
   (``speedup`` stays above ``--min-speedup``, default 1.5 — they are
-  15-19x at parity today).
+  15-19x at parity today);
+* the analytic traffic model must still be dramatically faster than the
+  simulated path it replaces (``analytic_over_simulated`` stays above
+  ``--min-analytic-speedup``, default 100 — several hundred x today;
+  below that the hybrid tuner's fast path has stopped being fast).
 
 Usage::
 
     python tools/check_bench.py --baseline BENCH_kernels.json \
-        --fresh BENCH_fresh.json [--factor 10] [--min-speedup 1.5]
+        --fresh BENCH_fresh.json [--factor 10] [--min-speedup 1.5] \
+        [--min-analytic-speedup 100]
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -43,7 +48,8 @@ def load_report(path: str) -> Dict:
 
 
 def compare(baseline: Dict, fresh: Dict, factor: float,
-            min_speedup: float) -> List[str]:
+            min_speedup: float,
+            min_analytic_speedup: float = 100.0) -> List[str]:
     problems: List[str] = []
     base_results = baseline["results"]
     fresh_results = fresh["results"]
@@ -76,6 +82,14 @@ def compare(baseline: Dict, fresh: Dict, factor: float,
                     f"{name}.speedup: {fresh_speedup!r} < required "
                     f"{min_speedup:g} (vector kernel no longer beats the "
                     "scalar reference)")
+        if "analytic_over_simulated" in base:
+            fresh_ratio = got.get("analytic_over_simulated", 0.0)
+            if not isinstance(fresh_ratio, (int, float)) \
+                    or fresh_ratio < min_analytic_speedup:
+                problems.append(
+                    f"{name}.analytic_over_simulated: {fresh_ratio!r} < "
+                    f"required {min_analytic_speedup:g} (the analytic "
+                    "model no longer meaningfully outpaces simulation)")
     return problems
 
 
@@ -92,13 +106,17 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required vector-vs-reference cache-kernel "
                              "speedup (default 1.5)")
+    parser.add_argument("--min-analytic-speedup", type=float, default=100.0,
+                        help="required analytic-vs-simulated evaluation "
+                             "speedup (default 100)")
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
         parser.error("--factor must be > 1")
 
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
-    problems = compare(baseline, fresh, args.factor, args.min_speedup)
+    problems = compare(baseline, fresh, args.factor, args.min_speedup,
+                       args.min_analytic_speedup)
     if problems:
         print(f"bench regression vs {args.baseline} "
               f"(factor {args.factor:g}):", file=sys.stderr)

@@ -20,11 +20,23 @@ more compiler artefacts), so the CI floor should be ratcheted from the
 ``pytest-cov`` report and this tool's ``--fail-under`` kept a point or
 two beneath its own measurement.
 
+Beyond the line ratchet, the gate is **structural**: every top-level
+``src/repro/*`` package must be measured and exercised.  A new subsystem
+(``analytic``, ``tuner``, ``service``...) that never runs under the
+suite fails the gate outright rather than merely diluting the
+percentage — the failure mode this guards against is a package added
+with its tests forgotten or deselected.
+
+``--verify-packages coverage.json`` applies the same structural check to
+a coverage.py JSON report (``pytest --cov --cov-report=json``), so the
+CI job that measures with the real tool shares the package contract.
+
 Usage::
 
     python tools/check_coverage.py                  # measure + report
     python tools/check_coverage.py --fail-under 80  # gate (exit 1 below)
     python tools/check_coverage.py --top 15         # worst-covered files
+    python tools/check_coverage.py --verify-packages coverage.json
 """
 
 from __future__ import annotations
@@ -34,7 +46,7 @@ import ast
 import sys
 import threading
 from pathlib import Path
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
@@ -81,6 +93,72 @@ def collect_targets() -> Dict[str, Set[int]]:
     }
 
 
+def top_level_packages() -> "List[str]":
+    """Names of the top-level ``src/repro/*`` packages."""
+    return sorted(p.name for p in SRC_ROOT.iterdir()
+                  if p.is_dir() and (p / "__init__.py").is_file())
+
+
+def package_of(filename: str) -> "Optional[str]":
+    """Top-level package a measured file belongs to (None for the
+    ``repro`` root modules themselves)."""
+    try:
+        rel = Path(filename).resolve().relative_to(SRC_ROOT)
+    except ValueError:
+        return None
+    return rel.parts[0] if len(rel.parts) > 1 else None
+
+
+def check_packages(measured: "Set[str]", exercised: "Set[str]",
+                   source: str) -> "List[str]":
+    """Structural failures: packages absent from the measurement or
+    never executed by the suite."""
+    problems = []
+    for package in top_level_packages():
+        if package not in measured:
+            problems.append(
+                f"package src/repro/{package}/ is missing from the "
+                f"{source} measurement — its files were never collected")
+        elif package not in exercised:
+            problems.append(
+                f"package src/repro/{package}/ was measured but no line "
+                f"in it executed under the {source} run")
+    return problems
+
+
+def verify_packages_json(path: str) -> int:
+    """Gate a coverage.py JSON report on the package contract."""
+    import json
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    files = data.get("files")
+    if not isinstance(files, dict):
+        print(f"check_coverage: {path} is not a coverage.py JSON report "
+              "(no 'files' object)", file=sys.stderr)
+        return 1
+    measured: Set[str] = set()
+    exercised: Set[str] = set()
+    for filename, entry in files.items():
+        package = package_of(str(REPO_ROOT / filename)
+                             if not Path(filename).is_absolute()
+                             else filename)
+        if package is None:
+            continue
+        measured.add(package)
+        if entry.get("summary", {}).get("covered_lines", 0) > 0:
+            exercised.add(package)
+    problems = check_packages(measured, exercised, path)
+    if problems:
+        print("check_coverage: package verification FAILED:",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"check_coverage: ok — all {len(top_level_packages())} "
+          f"top-level src/repro packages measured and exercised in {path}")
+    return 0
+
+
 def run_suite_traced(pytest_args: Tuple[str, ...]) -> Tuple[Dict[str, Set[int]], int]:
     """Run pytest in-process under the selective tracer."""
     hit: Dict[str, Set[int]] = {}
@@ -122,9 +200,17 @@ def main() -> int:
                         help="exit 1 when total line coverage is below PCT")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="show the N worst-covered files (default 10)")
+    parser.add_argument("--verify-packages", metavar="COVERAGE_JSON",
+                        default=None,
+                        help="instead of measuring, check that a "
+                             "coverage.py JSON report measured and "
+                             "exercised every top-level src/repro package")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest")
     args = parser.parse_args()
+
+    if args.verify_packages is not None:
+        return verify_packages_json(args.verify_packages)
 
     targets = collect_targets()
     hit, status = run_suite_traced(tuple(args.pytest_args))
@@ -148,8 +234,23 @@ def main() -> int:
         rel = Path(filename).relative_to(REPO_ROOT)
         print(f"  {pct:6.1f}%  {covered:5d}/{n:<5d}  {rel}")
 
+    measured = {p for p in (package_of(f) for f in targets) if p}
+    exercised = {p for p, lines in
+                 ((package_of(f), targets[f] & hit.get(f, set()))
+                  for f in targets)
+                 if p and lines}
+    package_problems = check_packages(measured, exercised, "traced")
+
     total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
     print(f"\nTOTAL: {total_hit}/{total_exec} lines = {total_pct:.2f}%")
+    if package_problems:
+        print("check_coverage: package verification FAILED:",
+              file=sys.stderr)
+        for p in package_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"packages: all {len(top_level_packages())} top-level "
+          "src/repro packages measured and exercised")
     if args.fail_under is not None and total_pct < args.fail_under:
         print(f"check_coverage: FAILED — {total_pct:.2f}% is below the "
               f"{args.fail_under:.2f}% floor", file=sys.stderr)
