@@ -186,51 +186,94 @@ def bench_cache_engine(iterations: int) -> Dict[str, float]:
     return {"seconds": seconds, "dram_bytes": out["dram"]}
 
 
-def bench_analytic_eval(evals: int) -> Dict[str, float]:
+def bench_analytic_eval(evals: int, sim_evals: int,
+                        batch_points: int) -> Dict[str, float]:
     """Analytic fast path vs the full simulated path, per tuner point.
 
-    Measures what ``repro tune --fidelity hybrid`` actually buys: pricing
-    one search point by the compiled closed-form model (compile once,
-    evaluate ``evals`` times) against rebuilding the DAG and replaying
-    the schedule engine from scratch (``runner.clear_cache()`` between
-    runs — a fresh point never hits the memo).  The workload is the
-    paper's tuner showcase at the default 4 MiB capacity, i.e. the
-    closed-form regime the search spends nearly all its budget in.
+    Measures what ``repro tune --fidelity hybrid`` actually buys, on
+    three rungs of the same ladder:
 
-    ``analytic_over_simulated`` is gated by ``tools/check_bench.py``
-    (``--min-analytic-speedup``, default 100x).
+    * **simulated** — rebuild the DAG and replay the schedule engine
+      from scratch ``sim_evals`` times (``runner.clear_cache()`` between
+      runs — a fresh point never hits the memo);
+    * **point-wise analytic** — the compiled model, compile once,
+      ``model.evaluate`` ``evals`` times (≥10k at full size so the rate
+      is not single-call noise);
+    * **batch analytic** — one :func:`repro.analytic.evaluate_batch`
+      call over a ``batch_points``-row knob grid.
+
+    The point-wise and batch sides price the *same* knob distribution —
+    schedule toggles cycling through all eight combinations, an entries
+    axis sweeping 1..512 across the no-pressure peak — so the ratio is
+    apples to apples and both the closed-form broadcast and the
+    vectorised capacity recurrence are on the clock.
+
+    ``analytic_over_simulated`` and ``batch_over_pointwise`` are gated
+    by ``tools/check_bench.py`` (``--min-analytic-speedup`` 100x,
+    ``--min-batch-speedup`` 50x).
     """
-    from ..analytic import model_for
+    from dataclasses import replace
+
+    from ..analytic import BatchKnobs, evaluate_batch, model_for
     from ..baselines import runner
+    from ..baselines.configs import cello_variant_name
+    from ..sim.engine import EngineOptions
     from ..workloads.registry import resolve_workload
 
     cfg = AcceleratorConfig()
     workload = resolve_workload("gmres/fv1/m=8/N=1")
     model = model_for(workload, "CELLO", cfg)  # compile outside the clock
 
+    def knob_row(i: int):
+        return (bool(i & 1), bool(i & 2), bool(i & 4), (i % 512) + 1)
+
     def run_analytic() -> None:
-        for _ in range(evals):
-            model.evaluate("CELLO", None, cfg)
+        for i in range(evals):
+            riff, retire, swz, entries = knob_row(i)
+            options = EngineOptions(use_riff=riff, explicit_retire=retire,
+                                    charge_swizzle=swz)
+            model.evaluate(cello_variant_name(options), options,
+                           replace(cfg, chord_entries=entries))
 
     def run_simulated() -> None:
-        for _ in range(evals):
+        for _ in range(sim_evals):
             runner.clear_cache()
             runner.run_workload_config(workload, "CELLO", cfg)
 
+    rows = np.arange(batch_points)
+    knobs = BatchKnobs.from_columns(
+        batch_points,
+        use_riff=(rows & 1).astype(bool),
+        explicit_retire=(rows & 2).astype(bool),
+        charge_swizzle=(rows & 4).astype(bool),
+        chord_entries=(rows % 512) + 1,
+        capacity_bytes=cfg.chord_data_bytes,
+    )
+    evaluate_batch(model, knobs)  # warm the cached batch program
+
     analytic_s = _timed(run_analytic)
     simulated_s = _timed(run_simulated)
+    batch_s = _timed(lambda: evaluate_batch(model, knobs))
     runner.clear_cache()
     analytic_rate = evals / analytic_s if analytic_s else 0.0
-    simulated_rate = evals / simulated_s if simulated_s else 0.0
+    simulated_rate = sim_evals / simulated_s if simulated_s else 0.0
+    batch_rate = batch_points / batch_s if batch_s else 0.0
     return {
         "evals": evals,
+        "sim_evals": sim_evals,
+        "batch_points": batch_points,
         "analytic_s": analytic_s,
         "simulated_s": simulated_s,
+        "batch_s": batch_s,
         "analytic_evals_per_s": analytic_rate,
         "simulated_evals_per_s": simulated_rate,
+        "batch_evals_per_s": batch_rate,
         "analytic_over_simulated": (
             analytic_rate / simulated_rate if simulated_rate
             else float("inf")
+        ),
+        "batch_over_pointwise": (
+            batch_rate / analytic_rate if analytic_rate else float("inf")
         ),
     }
 
@@ -251,7 +294,12 @@ def run_kernel_bench(quick: bool = False) -> Dict:
         iterations=2 if quick else 8
     )
     results["analytic_eval"] = bench_analytic_eval(
-        evals=3 if quick else 20
+        evals=1_000 if quick else 10_000,
+        sim_evals=3 if quick else 20,
+        # One vectorised call over 100k points costs ~30ms, so quick mode
+        # keeps the full batch: shrinking it would only deflate the
+        # amortisation ratio the CI gate checks.
+        batch_points=100_000,
     )
     return {
         "schema": BENCH_SCHEMA,
@@ -296,5 +344,8 @@ def render_bench(report: Dict) -> str:
         f"analytic eval:   {res['analytic_eval']['analytic_evals_per_s']:.0f}"
         f" evals/s vs {res['analytic_eval']['simulated_evals_per_s']:.1f} "
         f"simulated — {res['analytic_eval']['analytic_over_simulated']:.0f}x",
+        f"batch analytic:  {res['analytic_eval']['batch_evals_per_s']:.0f}"
+        f" evals/s over {res['analytic_eval']['batch_points']:.0f} points "
+        f"— {res['analytic_eval']['batch_over_pointwise']:.0f}x point-wise",
     ]
     return table + "\n" + "\n".join(extra)

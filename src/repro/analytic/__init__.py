@@ -32,6 +32,19 @@ from .backend import (
     schedule_cfg_key,
     supports_config,
 )
+from .batch import (
+    REGIME_CLOSED_FORM,
+    REGIME_NAMES,
+    REGIME_RECURRENCE,
+    REGIME_STREAMING,
+    BatchEvaluation,
+    BatchKnobs,
+    BatchUnsupported,
+    batch_objective_arrays,
+    evaluate_batch,
+    onchip_accesses_of,
+    replay_chord_batch,
+)
 from .canonical import CanonicalProgram, TensorFacts, canonicalize, canonicalize_oracle
 from .capacity import ChordTally, no_pressure_peaks, replay_chord
 from .compiler import (
@@ -47,26 +60,37 @@ __all__ = [
     "AnalyticEvaluation",
     "AnalyticModel",
     "AnalyticUnsupported",
+    "BatchEvaluation",
+    "BatchKnobs",
+    "BatchUnsupported",
     "CanonicalProgram",
     "ChordTally",
     "CLOSED_FORM",
     "RECURRENCE",
+    "REGIME_CLOSED_FORM",
+    "REGIME_NAMES",
+    "REGIME_RECURRENCE",
+    "REGIME_STREAMING",
     "STREAMING",
     "TensorFacts",
     "TensorFormula",
     "Term",
+    "batch_objective_arrays",
     "canonicalize",
     "canonicalize_oracle",
     "clear_model_cache",
     "describe_formulas",
     "engine_options_for",
+    "evaluate_batch",
     "family_of",
     "model_cache_size",
     "model_for",
     "no_pressure_peaks",
+    "onchip_accesses_of",
     "predict_config",
     "predict_workload_config",
     "replay_chord",
+    "replay_chord_batch",
     "schedule_cfg_key",
     "supports_config",
 ]

@@ -604,6 +604,12 @@ def _submit_main(argv: List[str]) -> int:
         "--include-baselines", action="store_true",
         help="tune: add Flex+LRU/BRRIP/SRRIP cache policies to the space",
     )
+    parser.add_argument(
+        "--fidelity", default="exact",
+        choices=("exact", "analytic", "hybrid"),
+        help="tune: evaluation fidelity (default exact; analytic/hybrid "
+             "need a protocol-v3 daemon)",
+    )
     args = parser.parse_args(argv)
 
     if args.tune is None and args.workloads is None:
@@ -630,6 +636,7 @@ def _submit_main(argv: List[str]) -> int:
                     entries=[int(e) for e in _parse_floats(args.entries)]
                     or [64],
                     include_baselines=args.include_baselines,
+                    fidelity=args.fidelity,
                 )
                 print(render_tune_result(TuneResult.from_dict(data)))
                 return 0

@@ -251,16 +251,33 @@ class ServiceClient:
                     sram_mb: Sequence[float] = (4.0,),
                     entries: Sequence[int] = (64,),
                     include_baselines: bool = False,
+                    fidelity: str = "exact",
                     on_message: Optional[
                         Callable[[Dict[str, object]], None]] = None,
                     ) -> Dict[str, object]:
         """Submit a tune job; returns the serialised
         :class:`~repro.tuner.TuneResult` dict (rebuild with
-        ``TuneResult.from_dict``)."""
+        ``TuneResult.from_dict``).
+
+        A non-default ``fidelity`` needs a protocol-v3 daemon: v2 daemons
+        ignore unknown request fields, so without the version check a
+        hybrid submission would silently run at exact fidelity.  The
+        check turns that into a clear client-side error instead.
+        """
+        if fidelity != "exact":
+            version = self.ping().get("protocol", 1)
+            if not (isinstance(version, int) and version >= 3):
+                raise ServiceError(
+                    f"daemon speaks protocol v{version} which has no "
+                    f"'fidelity' tune field (needs v3+); a v2 daemon would "
+                    f"silently ignore fidelity={fidelity!r} and simulate "
+                    f"every point — restart the daemon with this build or "
+                    f"drop --fidelity")
         req = tune_request(workload, strategy=strategy, budget=budget,
                            seed=seed, objectives=objectives, sram_mb=sram_mb,
                            entries=entries,
-                           include_baselines=include_baselines)
+                           include_baselines=include_baselines,
+                           fidelity=fidelity)
         job_id: Optional[str] = None
         tune_result: Optional[Dict[str, object]] = None
         for msg in self._stream(req, on_message):

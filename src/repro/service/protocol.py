@@ -46,8 +46,10 @@ from ..hw.config import GB, MIB
 from ..orchestrator.spec import SweepSpec
 
 #: Bump on any wire-visible change (ops, field names, framing).
-#: v2 added the ``predict`` op.
-PROTOCOL_VERSION = 2
+#: v2 added the ``predict`` op; v3 the ``fidelity`` field on ``tune``
+#: (v2 daemons silently ignore unknown fields, so clients must check the
+#: ping version before relying on it).
+PROTOCOL_VERSION = 3
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -150,6 +152,7 @@ def tune_request(workload: str,
                  sram_mb: Sequence[float] = (4.0,),
                  entries: Sequence[int] = (64,),
                  include_baselines: bool = False,
+                 fidelity: str = "exact",
                  ) -> Dict[str, object]:
     req: Dict[str, object] = {
         "op": "tune",
@@ -161,6 +164,10 @@ def tune_request(workload: str,
         "entries": [int(e) for e in entries],
         "include_baselines": bool(include_baselines),
     }
+    if fidelity != "exact":
+        # Only non-default fidelities go on the wire: an "exact" request
+        # stays byte-identical to what a v2 client would send.
+        req["fidelity"] = str(fidelity)
     if objectives is not None:
         req["objectives"] = list(objectives)
     return req
@@ -233,6 +240,11 @@ def parse_tune_fields(req: Mapping[str, object]) -> Dict[str, object]:
     entries = _num_list(req, "entries") or [64.0]
     if any(e < 1 or int(e) != e for e in entries):
         raise ProtocolError("'entries' must be positive integers")
+    fidelity = req.get("fidelity", "exact")
+    if fidelity not in ("exact", "analytic", "hybrid"):
+        raise ProtocolError(
+            f"'fidelity' must be one of exact/analytic/hybrid, "
+            f"got {fidelity!r}")
     return {
         "workload": workload,
         "strategy": strategy,
@@ -243,6 +255,7 @@ def parse_tune_fields(req: Mapping[str, object]) -> Dict[str, object]:
         "sram_mb": sram_mb,
         "entries": [int(e) for e in entries],
         "include_baselines": bool(req.get("include_baselines", False)),
+        "fidelity": str(fidelity),
     }
 
 

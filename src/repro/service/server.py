@@ -622,7 +622,8 @@ class SimulationService:
         # search does not starve its per-read socket timeout.
         fn = functools.partial(tune, workload, space=space,
                                strategy=strategy, objectives=objectives,
-                               jobs=self.pool.jobs)
+                               jobs=self.pool.jobs,
+                               fidelity=str(fields["fidelity"]))
         search = self._loop.run_in_executor(None, fn)
         try:
             while True:

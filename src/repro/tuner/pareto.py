@@ -22,7 +22,9 @@ in evaluation order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..hw.config import AcceleratorConfig
 from ..hw.sram_model import cache_cost, chord_cost
@@ -92,6 +94,58 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
 
 
+def nondominated_mask(vectors: "np.ndarray", block: int = 512) -> "np.ndarray":
+    """Vectorised dominance pass over an ``(n, k)`` objective matrix.
+
+    ``mask[i]`` is True exactly when offering row ``i`` to a fresh
+    :class:`ParetoFront` **in row order** would leave it on the final
+    frontier: rows dominated by any other row are dropped, and of rows
+    with identical vectors only the first survives (the front's
+    first-seen tie rule).
+
+    The pass sorts lexicographically (any dominator or earlier-tied
+    duplicate of a row sorts strictly before it), then walks the sorted
+    rows in blocks: each block is tested against the accumulated front
+    with one broadcast ``<=`` and against its own earlier rows with a
+    lower-triangular mask — no Python-level per-pair loop.  This is what
+    lets the columnar tuner prune 10^5+ analytic points in milliseconds
+    where the per-insert loop was quadratic.
+    """
+    vecs = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+    if vecs.ndim != 2:
+        raise ValueError("vectors must be a 2-D (points, objectives) array")
+    n, k = vecs.shape
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # Sort by objectives (first objective primary), original index last:
+    # every dominator, and every tied duplicate that was seen earlier,
+    # lands strictly before the row it beats.
+    idx = np.arange(n)
+    order = np.lexsort((idx,) + tuple(vecs[:, c] for c in range(k - 1, -1, -1)))
+    sorted_v = vecs[order]
+    keep_sorted = np.zeros(n, dtype=bool)
+    front = np.empty((0, k), dtype=np.float64)
+    for start in range(0, n, block):
+        blk = sorted_v[start:start + block]
+        m = blk.shape[0]
+        if front.shape[0]:
+            beaten = (front[None, :, :] <= blk[:, None, :]
+                      ).all(axis=2).any(axis=1)
+        else:
+            beaten = np.zeros(m, dtype=bool)
+        # Within the block, an earlier sorted row that is <= everywhere
+        # either dominates this row or ties it first — reject either way.
+        le = (blk[None, :, :] <= blk[:, None, :]).all(axis=2)
+        beaten |= np.tril(le, k=-1).any(axis=1)
+        survivors = ~beaten
+        keep_sorted[start:start + m] = survivors
+        if survivors.any():
+            front = np.concatenate([front, blk[survivors]])
+    mask = np.zeros(n, dtype=bool)
+    mask[order] = keep_sorted
+    return mask
+
+
 @dataclass(frozen=True)
 class FrontEntry:
     """One non-dominated design point on the frontier."""
@@ -102,11 +156,17 @@ class FrontEntry:
 
 
 class ParetoFront:
-    """Non-dominated set under insertion, with dominance pruning."""
+    """Non-dominated set under insertion, with dominance pruning.
+
+    Membership tests run against a cached ``(entries, objectives)``
+    matrix — one broadcast compare per offer instead of a Python loop
+    over entries, so batch-sized fronts stay cheap to build.
+    """
 
     def __init__(self, objectives: Sequence[str]) -> None:
         self.objectives = validate_objectives(objectives)
         self._entries: List[FrontEntry] = []
+        self._matrix: Optional[np.ndarray] = None
 
     def add(self, point: TunePoint, config: str,
             values: Mapping[str, float]) -> bool:
@@ -117,12 +177,23 @@ class ParetoFront:
         entry (first seen wins) and rejects the offer.
         """
         vector = tuple(float(values[n]) for n in self.objectives)
-        for e in self._entries:
-            if dominates(e.vector, vector) or e.vector == vector:
+        v = np.asarray(vector, dtype=np.float64)
+        if self._entries:
+            assert self._matrix is not None
+            # all(e <= v) covers both "e dominates v" and "e == v": either
+            # way the offer is rejected.
+            if bool(np.any(np.all(self._matrix <= v, axis=1))):
                 return False
-        self._entries = [e for e in self._entries
-                         if not dominates(vector, e.vector)]
+            # No entry ties v (that was a rejection), so all(v <= e) is a
+            # strict domination of e by v.
+            evicted = np.all(v <= self._matrix, axis=1)
+            if evicted.any():
+                keep = ~evicted
+                self._entries = [e for e, k in zip(self._entries, keep) if k]
+                self._matrix = self._matrix[keep]
         self._entries.append(FrontEntry(point=point, config=config, vector=vector))
+        self._matrix = (v[None, :] if self._matrix is None or not self._matrix.size
+                        else np.concatenate([self._matrix, v[None, :]]))
         return True
 
     @property
@@ -138,9 +209,11 @@ class ParetoFront:
 
     def dominated(self, values: Mapping[str, float]) -> bool:
         """Would this objective mapping be rejected as dominated/tied?"""
-        vector = tuple(float(values[n]) for n in self.objectives)
-        return any(dominates(e.vector, vector) or e.vector == vector
-                   for e in self._entries)
+        if not self._entries:
+            return False
+        assert self._matrix is not None
+        v = np.asarray([float(values[n]) for n in self.objectives])
+        return bool(np.any(np.all(self._matrix <= v, axis=1)))
 
     def describe(self) -> str:
         parts = [f"ParetoFront({len(self)} points over {'/'.join(self.objectives)})"]

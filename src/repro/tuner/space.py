@@ -28,6 +28,8 @@ import random
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..baselines.configs import CACHE_POLICIES, cello_variant_name
 from ..hw.config import MIB, AcceleratorConfig
 from ..sim.engine import EngineOptions
@@ -117,6 +119,65 @@ class TunePoint:
 
 
 @dataclass(frozen=True)
+class ColumnarGrid:
+    """The CELLO block of a :class:`TuneSpace` as knob *columns*.
+
+    Row ``i`` of every array is design point ``i`` in exactly the order
+    :meth:`TuneSpace.points` enumerates (cache-policy points follow in
+    :attr:`cache_points`).  The batch analytic evaluator consumes the
+    columns directly; :class:`TunePoint` objects are only instantiated
+    for the rows that survive pruning — at 10^5–10^6 points the object
+    churn, not the model, is what used to dominate enumeration.
+    """
+
+    use_riff: np.ndarray        # bool, (n_cello,)
+    explicit_retire: np.ndarray
+    charge_swizzle: np.ndarray
+    chord_entries: np.ndarray   # int64, (n_cello,)
+    sram_bytes: np.ndarray
+    line_bytes: np.ndarray
+    #: The (small) implicit-cache block, already materialised.
+    cache_points: Tuple[TunePoint, ...]
+
+    @property
+    def n_cello(self) -> int:
+        return int(self.use_riff.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_cello + len(self.cache_points)
+
+    def point_at(self, i: int) -> TunePoint:
+        """``TuneSpace.points()[i]`` without materialising the grid."""
+        n = len(self)
+        if i < 0 or i >= n:
+            raise IndexError(f"point index {i} out of range for {n} points")
+        if i >= self.n_cello:
+            return self.cache_points[i - self.n_cello]
+        return TunePoint(
+            use_riff=bool(self.use_riff[i]),
+            explicit_retire=bool(self.explicit_retire[i]),
+            charge_swizzle=bool(self.charge_swizzle[i]),
+            chord_entries=int(self.chord_entries[i]),
+            sram_bytes=int(self.sram_bytes[i]),
+            line_bytes=int(self.line_bytes[i]),
+        )
+
+    def cello_index_of(self, point: TunePoint) -> Optional[int]:
+        """Row index of a CELLO ``point``, or None when absent."""
+        if not point.is_cello:
+            return None
+        hit = np.flatnonzero(
+            (self.use_riff == point.use_riff)
+            & (self.explicit_retire == point.explicit_retire)
+            & (self.charge_swizzle == point.charge_swizzle)
+            & (self.chord_entries == point.chord_entries)
+            & (self.sram_bytes == point.sram_bytes)
+            & (self.line_bytes == point.line_bytes)
+        )
+        return int(hit[0]) if hit.size else None
+
+
+@dataclass(frozen=True)
 class TuneSpace:
     """Axis-product search space.
 
@@ -187,7 +248,64 @@ class TuneSpace:
         return iter(self.points())
 
     def __contains__(self, point: TunePoint) -> bool:
-        return point in set(self.points())
+        # Arithmetic membership — equivalent to `point in set(points())`
+        # without materialising the grid (spaces can be 10^6 points now).
+        if not isinstance(point, TunePoint):
+            return False
+        if point.is_cello:
+            return (point.use_riff in self.use_riff
+                    and point.explicit_retire in self.explicit_retire
+                    and point.charge_swizzle in self.charge_swizzle
+                    and point.chord_entries in self.chord_entries
+                    and point.sram_bytes in self.sram_bytes
+                    and point.line_bytes in self.line_bytes)
+        # Cache points are enumerated at default CHORD knobs; a point
+        # carrying a non-default RIFF table is not on the grid.
+        if point.cache_policy not in self.cache_policies:
+            return False
+        if (point.sram_bytes not in self.sram_bytes
+                or point.line_bytes not in self.line_bytes):
+            return False
+        return point == TunePoint(
+            sram_bytes=point.sram_bytes, line_bytes=point.line_bytes,
+            cache_policy=point.cache_policy,
+        )
+
+    def columnar(self) -> ColumnarGrid:
+        """The space as knob columns (cached; see :class:`ColumnarGrid`).
+
+        Row order is identical to :meth:`points`: the CELLO block is the
+        axis product with the last axis fastest, cache-policy points
+        follow as materialised :class:`TunePoint` objects.
+        """
+        cached = getattr(self, "_columnar", None)
+        if cached is not None:
+            return cached
+        axes = (
+            np.asarray(self.use_riff, dtype=bool),
+            np.asarray(self.explicit_retire, dtype=bool),
+            np.asarray(self.charge_swizzle, dtype=bool),
+            np.asarray(self.chord_entries, dtype=np.int64),
+            np.asarray(self.sram_bytes, dtype=np.int64),
+            np.asarray(self.line_bytes, dtype=np.int64),
+        )
+        mesh = np.meshgrid(*axes, indexing="ij")
+        cache_points = tuple(
+            TunePoint(sram_bytes=sram, line_bytes=line, cache_policy=policy)
+            for policy, sram, line in itertools.product(
+                self.cache_policies, self.sram_bytes, self.line_bytes)
+        )
+        grid = ColumnarGrid(
+            use_riff=mesh[0].ravel(),
+            explicit_retire=mesh[1].ravel(),
+            charge_swizzle=mesh[2].ravel(),
+            chord_entries=mesh[3].ravel(),
+            sram_bytes=mesh[4].ravel(),
+            line_bytes=mesh[5].ravel(),
+            cache_points=cache_points,
+        )
+        object.__setattr__(self, "_columnar", grid)
+        return grid
 
     def default_point(self) -> TunePoint:
         """The incumbent: the paper's fixed CELLO configuration (all
@@ -203,11 +321,18 @@ class TuneSpace:
     def sample(self, rng: random.Random, k: int) -> Tuple[TunePoint, ...]:
         """``k`` distinct points, uniformly without replacement (the whole
         space when ``k`` ≥ its size — so a big enough random budget *is*
-        the grid)."""
-        pts = self.points()
-        if k >= len(pts):
-            return pts
-        return tuple(rng.sample(pts, k))
+        the grid).
+
+        Samples *indices* and materialises only the chosen points —
+        ``random.sample`` draws the same index sequence for any sequence
+        of the same length, so seeded draws are identical to the old
+        materialise-everything implementation.
+        """
+        n = len(self)
+        if k >= n:
+            return self.points()
+        grid = self.columnar()
+        return tuple(grid.point_at(i) for i in rng.sample(range(n), k))
 
     def neighbors(self, point: TunePoint) -> Tuple[TunePoint, ...]:
         """Points differing from ``point`` in exactly one axis value

@@ -226,6 +226,85 @@ class _BatchEvaluator:
             fidelity="analytic",
         )
 
+    def _batch_predict(
+        self, points: Sequence[TunePoint]
+    ) -> Dict[TunePoint, TuneEval]:
+        """Analytic evaluations for the CELLO points of ``points`` via the
+        columnar batch evaluator (:mod:`repro.analytic.batch`).
+
+        Points are grouped by (SRAM, line) so each group shares one
+        compiled model and one :func:`evaluate_batch` call; groups whose
+        event stream does not fit the packed batch encoding fall back to
+        per-point :meth:`_predict`.  Cache-policy points (no analytic
+        model) are simply absent from the returned mapping.
+        """
+        import numpy as np
+
+        from ..analytic import AnalyticUnsupported, model_for
+        from ..analytic.batch import (
+            BatchKnobs,
+            BatchUnsupported,
+            batch_objective_arrays,
+            evaluate_batch,
+            onchip_accesses_of,
+        )
+        from ..sim.perf import compute_seconds, memory_seconds
+
+        groups: Dict[Tuple[int, int], List[TunePoint]] = {}
+        for p in points:
+            if p.is_cello:
+                groups.setdefault((p.sram_bytes, p.line_bytes), []).append(p)
+        out: Dict[TunePoint, TuneEval] = {}
+        for ps in groups.values():
+            cfg = ps[0].accel_cfg(self.base_cfg)
+            try:
+                model = model_for(self.workload, ps[0].config_name(), cfg)
+            except AnalyticUnsupported:  # pragma: no cover - CELLO compiles
+                continue
+            entries = np.asarray([p.chord_entries for p in ps], dtype=np.int64)
+            knobs = BatchKnobs.from_columns(
+                len(ps),
+                use_riff=[p.use_riff for p in ps],
+                explicit_retire=[p.explicit_retire for p in ps],
+                charge_swizzle=[p.charge_swizzle for p in ps],
+                chord_entries=entries,
+                capacity_bytes=cfg.chord_data_bytes,
+            )
+            try:
+                ev = evaluate_batch(model, knobs)
+            except BatchUnsupported:
+                for p in ps:
+                    e = self._predict(p)
+                    if e is not None:
+                        out[p] = e
+                continue
+            arrs = batch_objective_arrays(
+                self.objectives, model, ev, cfg, chord_entries=entries)
+            compute_s = compute_seconds(model.program.total_macs, cfg)
+            onchip = onchip_accesses_of(model, cfg)
+            for i, p in enumerate(ps):
+                read = int(ev.dram_read_bytes[i])
+                write = int(ev.dram_write_bytes[i])
+                result = SimResult(
+                    config=p.config_name(),
+                    workload=self.workload.name,
+                    total_macs=model.program.total_macs,
+                    dram_read_bytes=read,
+                    dram_write_bytes=write,
+                    compute_s=compute_s,
+                    memory_s=memory_seconds(read + write, cfg),
+                    onchip_accesses=dict(onchip),
+                )
+                out[p] = TuneEval(
+                    point=p,
+                    config=p.config_name(),
+                    objectives={n: float(arrs[n][i])
+                                for n in self.objectives},
+                    result=result,
+                    fidelity="analytic",
+                )
+        return out
+
     def _note_error(self, predicted: SimResult, exact: SimResult) -> None:
         err = (abs(predicted.dram_bytes - exact.dram_bytes)
                / max(exact.dram_bytes, 1))
@@ -235,13 +314,15 @@ class _BatchEvaluator:
     def _analytic_pass(self, todo: List[TunePoint]) -> List[TunePoint]:
         """Price ``todo`` analytically; return the points that still need
         the simulator (their predictions are kept for error tracking)."""
+        batch = self._batch_predict(
+            [p for p in todo if p not in self.always_exact])
         predicted: Dict[TunePoint, TuneEval] = {}
         survivors: List[TunePoint] = []
         for p in todo:
             if p in self.always_exact:
                 survivors.append(p)
                 continue
-            e = self._predict(p)
+            e = batch.get(p)
             if e is None:
                 survivors.append(p)      # no model: oracle fallback
             else:
@@ -302,6 +383,158 @@ class _BatchEvaluator:
         return [self.cache[p] for p in points]
 
 
+def _columnar_grid_tune(
+    workload: Workload,
+    space: TuneSpace,
+    strategy: SearchStrategy,
+    names: Tuple[str, ...],
+    base_cfg: AcceleratorConfig,
+    jobs: Optional[int],
+    fidelity: str,
+) -> Optional[TuneResult]:
+    """Exhaustive grid search at analytic/hybrid fidelity without ever
+    materialising the grid.
+
+    Every CELLO row of :meth:`TuneSpace.columnar` is priced by the batch
+    evaluator (one :func:`evaluate_batch` call per SRAM×line geometry),
+    pruned with one vectorised dominance pass, and only the survivors —
+    plus the incumbent and the cache-policy block, which always simulate
+    — become :class:`TunePoint` objects.  Row order matches the
+    point-wise enumeration, so the first-seen tie rule (and therefore the
+    final frontier and ``best``) is identical to pricing every point
+    individually; dominated rows can never re-enter a frontier, so
+    dropping them from ``evaluations`` leaves the front unchanged.
+
+    Under hybrid fidelity the vectorised prune keeps exactly the *final*
+    analytic frontier — a subset of the insertion-order survivors the
+    incremental point-wise pass re-simulates (that pass also keeps points
+    that joined the running front and were evicted later).  Fewer exact
+    simulations, identical frontier.
+
+    Returns None when the program does not fit the packed batch encoding
+    (:class:`BatchUnsupported`); the caller falls back to the point-wise
+    strategy path.
+    """
+    import numpy as np
+
+    from ..analytic import AnalyticUnsupported, model_for
+    from ..analytic.batch import (
+        BatchKnobs,
+        BatchUnsupported,
+        batch_objective_arrays,
+        evaluate_batch,
+        onchip_accesses_of,
+    )
+    from ..sim.perf import compute_seconds, memory_seconds
+    from .pareto import nondominated_mask
+
+    grid = space.columnar()
+    n_cello = grid.n_cello
+    incumbent_pt = space.default_point()
+    inc_row = grid.cello_index_of(incumbent_pt)
+
+    # One compiled model + one batch call per (SRAM, line) geometry; the
+    # objective matrix is filled column-block by column-block.
+    geom = np.stack([grid.sram_bytes, grid.line_bytes], axis=1)
+    uniq, group_of = np.unique(geom, axis=0, return_inverse=True)
+    obj_matrix = np.empty((n_cello, len(names)), dtype=np.float64)
+    pos_in_group = np.empty(n_cello, dtype=np.int64)
+    group_data: List[tuple] = []
+    for g in range(uniq.shape[0]):
+        rows = np.flatnonzero(group_of == g)
+        pos_in_group[rows] = np.arange(rows.size)
+        first = grid.point_at(int(rows[0]))
+        cfg = first.accel_cfg(base_cfg)
+        try:
+            model = model_for(workload, first.config_name(), cfg)
+        except AnalyticUnsupported:  # pragma: no cover - CELLO compiles
+            return None
+        entries = grid.chord_entries[rows]
+        knobs = BatchKnobs.from_columns(
+            rows.size,
+            use_riff=grid.use_riff[rows],
+            explicit_retire=grid.explicit_retire[rows],
+            charge_swizzle=grid.charge_swizzle[rows],
+            chord_entries=entries,
+            capacity_bytes=cfg.chord_data_bytes,
+        )
+        try:
+            ev = evaluate_batch(model, knobs)
+        except BatchUnsupported:
+            return None
+        arrs = batch_objective_arrays(names, model, ev, cfg,
+                                      chord_entries=entries)
+        for j, name in enumerate(names):
+            obj_matrix[rows, j] = arrs[name]
+        group_data.append((model, cfg, ev))
+
+    def analytic_eval(row: int) -> TuneEval:
+        model, cfg, ev = group_data[int(group_of[row])]
+        i = int(pos_in_group[row])
+        p = grid.point_at(row)
+        read = int(ev.dram_read_bytes[i])
+        write = int(ev.dram_write_bytes[i])
+        result = SimResult(
+            config=p.config_name(),
+            workload=workload.name,
+            total_macs=model.program.total_macs,
+            dram_read_bytes=read,
+            dram_write_bytes=write,
+            compute_s=compute_seconds(model.program.total_macs, cfg),
+            memory_s=memory_seconds(read + write, cfg),
+            onchip_accesses=onchip_accesses_of(model, cfg),
+        )
+        return TuneEval(
+            point=p,
+            config=p.config_name(),
+            objectives={name: float(obj_matrix[row, j])
+                        for j, name in enumerate(names)},
+            result=result,
+            fidelity="analytic",
+        )
+
+    # Vectorised dominance pass over the CELLO block, in enumeration
+    # order (minus the incumbent, which is pinned to exact fidelity and
+    # never enters the analytic prune — same as the point-wise pass).
+    cello_rows = np.arange(n_cello)
+    if inc_row is not None:
+        cello_rows = cello_rows[cello_rows != inc_row]
+    survivor_rows = [int(r) for r in
+                     cello_rows[nondominated_mask(obj_matrix[cello_rows])]]
+
+    evaluator = _BatchEvaluator(workload, names, base_cfg, jobs, "exact")
+    sims_before = runner.simulation_count()
+    cache_pts = list(grid.cache_points)
+    if fidelity == "hybrid":
+        survivor_pts = [grid.point_at(r) for r in survivor_rows]
+        predictions = [analytic_eval(r) for r in survivor_rows]
+        exact = evaluator([incumbent_pt] + survivor_pts + cache_pts)
+        incumbent = exact[0]
+        cello_evals = exact[1:1 + len(survivor_pts)]
+        cache_evals = exact[1 + len(survivor_pts):]
+        for pred, got in zip(predictions, cello_evals):
+            evaluator._note_error(pred.result, got.result)
+        n_analytic = len(cello_rows) - len(survivor_rows)
+    else:  # analytic: survivors keep their predictions outright
+        exact = evaluator([incumbent_pt] + cache_pts)
+        incumbent = exact[0]
+        cache_evals = exact[1:]
+        cello_evals = [analytic_eval(r) for r in survivor_rows]
+        n_analytic = int(cello_rows.size)
+    return TuneResult(
+        workload=workload.name,
+        strategy=strategy.name,
+        objectives=names,
+        evaluations=tuple([incumbent] + list(cello_evals)
+                          + list(cache_evals)),
+        incumbent=incumbent,
+        n_simulations=runner.simulation_count() - sims_before,
+        fidelity=fidelity,
+        n_analytic=n_analytic,
+        analytic_max_rel_error=evaluator.analytic_max_rel_error,
+    )
+
+
 def tune(
     workload: Union[str, Workload],
     space: Optional[TuneSpace] = None,
@@ -347,6 +580,15 @@ def tune(
         raise ValueError(
             f"unknown fidelity {fidelity!r}; known: {', '.join(FIDELITIES)}"
         )
+
+    if strategy.name == "grid" and fidelity != "exact":
+        # Exhaustive analytic/hybrid grids take the columnar fast path:
+        # no per-point objects, no per-insert Pareto loop, no
+        # MAX_GRID_POINTS cap — 10^5+-point spaces price in seconds.
+        columnar = _columnar_grid_tune(
+            workload, space, strategy, names, base_cfg, jobs, fidelity)
+        if columnar is not None:
+            return columnar
 
     evaluator = _BatchEvaluator(workload, names, base_cfg, jobs, fidelity)
     evaluator.always_exact.add(space.default_point())

@@ -31,7 +31,8 @@ class TestCli:
                     "chord_events": kernel_bench.bench_chord_events(8, 3),
                     "schedule_engine": kernel_bench.bench_schedule_engine(2),
                     "cache_engine_g1": kernel_bench.bench_cache_engine(1),
-                    "analytic_eval": kernel_bench.bench_analytic_eval(2),
+                    "analytic_eval": kernel_bench.bench_analytic_eval(
+                        2, sim_evals=1, batch_points=64),
                 },
             }
 

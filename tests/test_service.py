@@ -32,6 +32,7 @@ from repro.service.protocol import (
     encode_message,
     parse_request,
     request_to_spec,
+    tune_request,
 )
 from repro.sim.perf import make_result
 from repro.workloads.registry import resolve_workload
@@ -356,6 +357,53 @@ class TestPredict:
             reply = raw._raw(server, payload)
             assert reply["type"] == "error"
             assert needle in reply["error"]
+
+
+class TestTuneFidelity:
+    """The protocol-v3 ``fidelity`` tune field, end to end."""
+
+    def test_hybrid_tune_over_wire_matches_exact_front(self, server):
+        from repro.tuner import TuneResult
+
+        with server.client() as client:
+            hybrid = TuneResult.from_dict(client.submit_tune(
+                WORKLOAD, strategy="grid", sram_mb=(4.0,), entries=(64, 16),
+                fidelity="hybrid"))
+            exact = TuneResult.from_dict(client.submit_tune(
+                WORKLOAD, strategy="grid", sram_mb=(4.0,), entries=(64, 16)))
+        assert hybrid.fidelity == "hybrid"
+        assert hybrid.n_analytic > 0
+        assert hybrid.analytic_max_rel_error is not None
+        assert exact.fidelity == "exact"
+        assert [(e.point, e.vector) for e in hybrid.front] \
+            == [(e.point, e.vector) for e in exact.front]
+
+    def test_exact_request_has_no_fidelity_field(self):
+        # Default requests must stay byte-identical to protocol v2 so
+        # old daemons keep accepting them.
+        assert "fidelity" not in tune_request(WORKLOAD)
+        assert tune_request(WORKLOAD, fidelity="hybrid")["fidelity"] \
+            == "hybrid"
+
+    def test_bad_fidelity_wire_error(self, server):
+        reply = TestWireErrors()._raw(
+            server, b'{"op": "tune", "workload": "cg/fv1/N=1", '
+                    b'"fidelity": "psychic"}\n')
+        assert reply["type"] == "error"
+        assert "fidelity" in reply["error"]
+
+    def test_old_daemon_rejected_client_side(self, server):
+        with server.client() as client:
+            client.ping = lambda: {"type": "pong", "protocol": 2}
+            with pytest.raises(ServiceError, match="protocol v2.*v3"):
+                client.submit_tune(WORKLOAD, fidelity="hybrid")
+
+    def test_submit_tune_fidelity_verb(self, server, capsys):
+        assert main(["submit", "--port", str(server.port),
+                     "--tune", WORKLOAD, "--entries", "64",
+                     "--tune-sram-mb", "4", "--fidelity", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity: hybrid" in out
 
 
 class TestDisconnect:

@@ -86,7 +86,9 @@ class TestBenchGate:
                           "speedup": 10.0},
             "analytic_eval": {"analytic_evals_per_s": 1e5,
                               "simulated_evals_per_s": 100.0,
-                              "analytic_over_simulated": 1000.0},
+                              "analytic_over_simulated": 1000.0,
+                              "batch_evals_per_s": 1e7,
+                              "batch_over_pointwise": 100.0},
         }
     }
 
@@ -113,6 +115,20 @@ class TestBenchGate:
         problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
         assert any("analytic_over_simulated" in p for p in problems)
 
+    def test_batch_speedup_floor_fails(self):
+        cb = _tool("check_bench")
+        problems = cb.compare(self.BASE,
+                              self._fresh(batch_over_pointwise=20.0),
+                              10.0, 1.5, 100.0)
+        assert any("batch_over_pointwise" in p for p in problems)
+
+    def test_missing_batch_ratio_fails(self):
+        cb = _tool("check_bench")
+        fresh = self._fresh()
+        del fresh["results"]["analytic_eval"]["batch_over_pointwise"]
+        problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
+        assert any("batch_over_pointwise" in p for p in problems)
+
     def test_rate_regression_still_caught(self):
         cb = _tool("check_bench")
         problems = cb.compare(self.BASE,
@@ -133,16 +149,19 @@ class TestBenchGate:
         entry = baseline["results"]["analytic_eval"]
         assert entry["analytic_over_simulated"] >= 100.0
         assert entry["analytic_evals_per_s"] > entry["simulated_evals_per_s"]
+        assert entry["batch_over_pointwise"] >= 50.0
+        assert entry["batch_points"] >= 100_000
 
 
 class TestAnalyticBench:
     def test_bench_analytic_eval_measures_both_paths(self):
         from repro.analysis.kernel_bench import bench_analytic_eval
 
-        r = bench_analytic_eval(evals=2)
+        r = bench_analytic_eval(evals=2, sim_evals=2, batch_points=64)
         assert r["evals"] == 2
         assert r["analytic_evals_per_s"] > 0
         assert r["simulated_evals_per_s"] > 0
+        assert r["batch_evals_per_s"] > 0
         # The whole point of the fast path (gated at 100x in CI; tested
         # looser here to keep this robust on loaded machines).
         assert r["analytic_over_simulated"] > 10
@@ -158,7 +177,10 @@ class TestAnalyticBench:
                 "cache_engine_g1": {"seconds": 0.5, "dram_bytes": 1e7},
                 "analytic_eval": {"analytic_evals_per_s": 1e5,
                                   "simulated_evals_per_s": 100.0,
-                                  "analytic_over_simulated": 1000.0},
+                                  "analytic_over_simulated": 1000.0,
+                                  "batch_evals_per_s": 1e6,
+                                  "batch_points": 1e5,
+                                  "batch_over_pointwise": 60.0},
             },
         }
         out = render_bench(report)
@@ -173,6 +195,8 @@ class TestCiWiring:
         ci = (REPO_ROOT / ".github/workflows/ci.yml").read_text()
         assert "--verify-packages coverage.json" in ci
         assert "--min-analytic-speedup 100" in ci
+        assert "--min-batch-speedup 50" in ci
         assert "fidelity-smoke:" in ci
         assert "--fidelity hybrid" in ci
         assert "within 2% bound" in ci
+        assert "fidelity: hybrid" in ci

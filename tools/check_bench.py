@@ -17,13 +17,17 @@ ride along:
 * the analytic traffic model must still be dramatically faster than the
   simulated path it replaces (``analytic_over_simulated`` stays above
   ``--min-analytic-speedup``, default 100 — several hundred x today;
-  below that the hybrid tuner's fast path has stopped being fast).
+  below that the hybrid tuner's fast path has stopped being fast);
+* the batch analytic evaluator must still amortise the Python dispatch
+  it exists to remove (``batch_over_pointwise`` stays above
+  ``--min-batch-speedup``, default 50 — the columnar tuner path is
+  pointless below that).
 
 Usage::
 
     python tools/check_bench.py --baseline BENCH_kernels.json \
         --fresh BENCH_fresh.json [--factor 10] [--min-speedup 1.5] \
-        [--min-analytic-speedup 100]
+        [--min-analytic-speedup 100] [--min-batch-speedup 50]
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -49,7 +53,8 @@ def load_report(path: str) -> Dict:
 
 def compare(baseline: Dict, fresh: Dict, factor: float,
             min_speedup: float,
-            min_analytic_speedup: float = 100.0) -> List[str]:
+            min_analytic_speedup: float = 100.0,
+            min_batch_speedup: float = 50.0) -> List[str]:
     problems: List[str] = []
     base_results = baseline["results"]
     fresh_results = fresh["results"]
@@ -90,6 +95,14 @@ def compare(baseline: Dict, fresh: Dict, factor: float,
                     f"{name}.analytic_over_simulated: {fresh_ratio!r} < "
                     f"required {min_analytic_speedup:g} (the analytic "
                     "model no longer meaningfully outpaces simulation)")
+        if "batch_over_pointwise" in base:
+            fresh_batch = got.get("batch_over_pointwise", 0.0)
+            if not isinstance(fresh_batch, (int, float)) \
+                    or fresh_batch < min_batch_speedup:
+                problems.append(
+                    f"{name}.batch_over_pointwise: {fresh_batch!r} < "
+                    f"required {min_batch_speedup:g} (the batch evaluator "
+                    "no longer amortises per-point dispatch)")
     return problems
 
 
@@ -109,6 +122,9 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--min-analytic-speedup", type=float, default=100.0,
                         help="required analytic-vs-simulated evaluation "
                              "speedup (default 100)")
+    parser.add_argument("--min-batch-speedup", type=float, default=50.0,
+                        help="required batch-vs-point-wise analytic "
+                             "evaluation speedup (default 50)")
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
         parser.error("--factor must be > 1")
@@ -116,7 +132,7 @@ def main(argv: List[str] | None = None) -> int:
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
     problems = compare(baseline, fresh, args.factor, args.min_speedup,
-                       args.min_analytic_speedup)
+                       args.min_analytic_speedup, args.min_batch_speedup)
     if problems:
         print(f"bench regression vs {args.baseline} "
               f"(factor {args.factor:g}):", file=sys.stderr)
