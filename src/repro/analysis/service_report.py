@@ -39,7 +39,13 @@ def render_jobs(jobs: Sequence[Mapping[str, object]]) -> str:
 
 
 def render_service_stats(stats: Mapping[str, object]) -> str:
-    """The ``repro jobs --stats`` report: throughput + store contents."""
+    """The ``repro jobs --stats`` report: throughput + store contents.
+
+    Dispatches on the endpoint's role — a gateway reports routing
+    counters instead of pool/store internals it does not have.
+    """
+    if stats.get("role") == "gateway":
+        return _render_gateway_stats(stats)
     uptime = float(stats.get("uptime_s", 0.0))  # type: ignore[arg-type]
     points = int(stats.get("points_streamed", 0))  # type: ignore[arg-type]
     sims = int(stats.get("simulations", 0))  # type: ignore[arg-type]
@@ -80,6 +86,70 @@ def render_service_stats(stats: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _render_gateway_stats(stats: Mapping[str, object]) -> str:
+    uptime = float(stats.get("uptime_s", 0.0))  # type: ignore[arg-type]
+    points = int(stats.get("points_streamed", 0))  # type: ignore[arg-type]
+    jobs = dict(stats.get("jobs") or {})  # type: ignore[arg-type]
+    per_s = points / uptime if uptime > 0 else 0.0
+    return "\n".join([
+        "Gateway stats",
+        f"  uptime:          {uptime:.1f} s",
+        f"  jobs:            "
+        + (", ".join(f"{n} {state}" for state, n in sorted(jobs.items()))
+           or "none"),
+        f"  points streamed: {points} ({per_s:.2f} points/s)",
+        f"  requeued:        {stats.get('requeued_total', 0)} point(s) "
+        "re-hashed off dead shards",
+        f"  shards:          {stats.get('shards_healthy', 0)}/"
+        f"{stats.get('shards_total', 0)} healthy",
+    ])
+
+
+def render_topology(topo: Mapping[str, object]) -> str:
+    """The ``repro jobs --topology`` report for either endpoint role.
+
+    A lone daemon describes itself as one shard; a gateway renders its
+    ring parameters and a health row per backend shard.
+    """
+    role = str(topo.get("role", "?"))
+    if role != "gateway":
+        store = topo.get("store")
+        return "\n".join([
+            f"Topology: single {role} (protocol "
+            f"v{topo.get('protocol', '?')})",
+            f"  address:     {topo.get('host', '?')}:{topo.get('port', '?')}",
+            f"  workers:     {topo.get('workers', '?')}",
+            f"  in flight:   {topo.get('in_flight', 0)} "
+            f"(+{topo.get('queue_depth', 0)} queued)",
+            f"  store:       {store if store is not None else 'disabled'}",
+        ])
+    shards = [dict(s) for s in topo.get("shards", [])]  # type: ignore[union-attr]
+    healthy = sum(1 for s in shards if s.get("healthy"))
+    lines = [
+        f"Topology: gateway over {len(shards)} shard(s), {healthy} healthy "
+        f"(protocol v{topo.get('protocol', '?')})",
+        f"  address:     {topo.get('host', '?')}:{topo.get('port', '?')}",
+        f"  hash ring:   {topo.get('replicas', '?')} virtual node(s) per "
+        "shard",
+        f"  requeued:    {topo.get('requeued_total', 0)} point(s) re-hashed "
+        "off dead shards",
+    ]
+    rows = [[
+        str(s.get("id", "?")),
+        "up" if s.get("healthy") else "DOWN",
+        f"v{s.get('protocol')}" if s.get("protocol") is not None else "?",
+        int(s.get("deaths", 0)),
+        str(s.get("error") or ""),
+    ] for s in shards]
+    if rows:
+        lines.append(render_table(
+            ["shard", "health", "proto", "deaths", "last error"],
+            rows,
+            title="Shards",
+        ))
+    return "\n".join(lines)
+
+
 def sweep_outcome_rows(points: Sequence[object]) -> List[List[object]]:
     """Table rows for streamed sweep points (mirrors ``repro sweep``)."""
     rows: List[List[object]] = []
@@ -98,10 +168,21 @@ def sweep_outcome_rows(points: Sequence[object]) -> List[List[object]]:
 
 
 def summarize_sweep_outcome(outcome: object) -> str:
-    """One grep-friendly summary line per finished sweep job."""
+    """Grep-friendly summary of a finished sweep job.
+
+    The first line keeps its historical ``simulations: N`` shape (CI
+    smoke jobs grep it); the second line exists for the fabric smoke
+    test — ``simulations re-run: 0`` on a warm resubmit is the "requeue
+    duplicated nothing" assertion, and ``requeued: N`` says how many
+    points were re-hashed off dead shards (always 0 on a lone daemon).
+    """
+    requeued = int(getattr(outcome, "requeued", 0))
     return (f"job {outcome.job_id}: "  # type: ignore[attr-defined]
             f"{len(outcome.points)} points  "  # type: ignore[attr-defined]
             f"simulations: {outcome.simulations}  "  # type: ignore[attr-defined]
             f"warm hits: {outcome.hits}  "  # type: ignore[attr-defined]
             f"coalesced: {outcome.coalesced}  "  # type: ignore[attr-defined]
-            f"elapsed: {outcome.elapsed_s:.3f}s")  # type: ignore[attr-defined]
+            f"requeued: {requeued}  "
+            f"elapsed: {outcome.elapsed_s:.3f}s"  # type: ignore[attr-defined]
+            "\n"
+            f"simulations re-run: {outcome.simulations}")  # type: ignore[attr-defined]

@@ -15,9 +15,10 @@ Usage::
     python -m repro cache clear
     python -m repro bench --quick        # hot-path kernels -> BENCH_kernels.json
     python -m repro serve                # long-lived simulation service
+    python -m repro gateway --shards 8643,8644,8645   # sharded fabric
     python -m repro submit --workloads 'cg/*' --configs CELLO
     python -m repro submit --tune gmres/fv1/m=8/N=1
-    python -m repro jobs [--stats|--cancel ID|--shutdown]
+    python -m repro jobs [--stats|--topology|--cancel ID|--shutdown]
 
 Experiment and sweep runs read/write an on-disk result store
 (``~/.cache/repro`` by default; override with ``--cache-dir`` or the
@@ -121,8 +122,10 @@ def list_experiments() -> str:
     lines.append("  cache    persistent result cache: stat | clear")
     lines.append("  bench    time simulator hot paths, write BENCH_kernels.json")
     lines.append("  serve    run the simulation service daemon (docs/service.md)")
+    lines.append("  gateway  front N daemons as one sharded fabric endpoint")
     lines.append("  submit   send a sweep or tune job to a running service")
-    lines.append("  jobs     list service jobs; --stats, --cancel, --shutdown")
+    lines.append("  jobs     list service jobs; --stats, --topology, "
+                 "--cancel, --shutdown")
     return "\n".join(lines)
 
 
@@ -546,6 +549,71 @@ def _serve_main(argv: List[str]) -> int:
     return 0
 
 
+def _gateway_main(argv: List[str]) -> int:
+    import asyncio
+
+    from .service import GatewayService, parse_shard_addrs
+
+    parser = argparse.ArgumentParser(
+        prog="repro gateway",
+        description="Front N running 'repro serve' shards as one "
+                    "endpoint: routes sweep points by consistent hash of "
+                    "their traffic key, merges the result streams, and "
+                    "requeues a dead shard's points onto the survivors "
+                    "(topology/failure semantics: docs/service.md).",
+    )
+    _add_service_addr_args(parser)
+    parser.add_argument(
+        "--shards", required=True, metavar="ADDRS",
+        help="comma-separated shard addresses (host:port, or bare port "
+             "for localhost), e.g. '8643,8644,8645'",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=64, metavar="N",
+        help="virtual nodes per shard on the hash ring (default 64)",
+    )
+    parser.add_argument(
+        "--health-interval", type=float, default=2.0, metavar="S",
+        help="seconds between shard health pings (default 2)",
+    )
+    parser.add_argument(
+        "--ping-timeout", type=float, default=5.0, metavar="S",
+        help="health-ping timeout before a shard is marked down "
+             "(default 5)",
+    )
+    parser.add_argument(
+        "--shard-read-timeout", type=float, default=600.0, metavar="S",
+        help="per-line read timeout on shard result streams; exceeding "
+             "it requeues the shard's remaining points (default 600)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        shards = parse_shard_addrs(
+            [s for s in args.shards.split(",") if s.strip()])
+    except ValueError as exc:
+        print(f"bad --shards: {exc}", file=sys.stderr)
+        return 2
+    gateway = GatewayService(
+        shards,
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        health_interval_s=args.health_interval,
+        ping_timeout_s=args.ping_timeout,
+        shard_read_timeout_s=args.shard_read_timeout,
+    )
+    try:
+        asyncio.run(gateway.run(announce=print))
+    except KeyboardInterrupt:
+        print("repro gateway interrupted; shutting down", file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def _submit_main(argv: List[str]) -> int:
     from .analysis.service_report import (
         summarize_sweep_outcome,
@@ -662,18 +730,28 @@ def _submit_main(argv: List[str]) -> int:
 
 
 def _jobs_main(argv: List[str]) -> int:
-    from .analysis.service_report import render_jobs, render_service_stats
+    from .analysis.service_report import (
+        render_jobs,
+        render_service_stats,
+        render_topology,
+    )
     from .service import ServiceClient, ServiceError
 
     parser = argparse.ArgumentParser(
         prog="repro jobs",
-        description="Inspect a running 'repro serve' daemon: list jobs "
-                    "(default), show stats, cancel a job, or shut it down.",
+        description="Inspect a running 'repro serve' daemon or 'repro "
+                    "gateway': list jobs (default), show stats or "
+                    "topology, cancel a job, or shut it down.",
     )
     _add_service_addr_args(parser)
     parser.add_argument(
         "--stats", action="store_true",
         help="show server throughput / store / pool counters instead",
+    )
+    parser.add_argument(
+        "--topology", action="store_true",
+        help="show what the endpoint is: a lone shard, or a gateway's "
+             "ring and per-shard health",
     )
     parser.add_argument(
         "--cancel", metavar="JOB", default=None,
@@ -693,6 +771,8 @@ def _jobs_main(argv: List[str]) -> int:
             elif args.shutdown:
                 client.shutdown()
                 print("service shutting down")
+            elif args.topology:
+                print(render_topology(client.topology()))
             elif args.stats:
                 print(render_service_stats(client.stats()))
             else:
@@ -718,6 +798,8 @@ def main(argv: list | None = None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "gateway":
+        return _gateway_main(argv[1:])
     if argv and argv[0] == "submit":
         return _submit_main(argv[1:])
     if argv and argv[0] == "jobs":
@@ -731,7 +813,7 @@ def main(argv: list | None = None) -> int:
         "experiments", nargs="*",
         help="experiment ids (e.g. fig12 table2), 'all', or 'list'; see "
              "also the 'sweep', 'tune', 'cache', 'bench', 'serve', "
-             "'submit' and 'jobs' subcommands",
+             "'gateway', 'submit' and 'jobs' subcommands",
     )
     _add_cache_args(parser)
     args = parser.parse_args(argv)

@@ -48,6 +48,55 @@ class SweepPoint:
         return result_key(self.config, self.workload, self.cfg,
                           self.cache_granularity)
 
+    def to_wire(self) -> dict:
+        """JSON-safe form for the service's ``points`` op.
+
+        Carries exactly the axes a ``sweep`` request varies (SRAM,
+        bandwidth, granularity) over a default base config — the same
+        reconstruction :func:`repro.service.protocol.request_to_spec`
+        performs, so a point round-tripped through a gateway keys the
+        store identically to one enumerated by a single daemon.
+        """
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "sram_bytes": self.cfg.sram_bytes,
+            "bandwidth_bytes_per_s": self.cfg.dram_bandwidth_bytes_per_s,
+            "cache_granularity": self.cache_granularity,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SweepPoint":
+        """Inverse of :meth:`to_wire`; raises ``ValueError`` on bad types."""
+        workload = data.get("workload")
+        config = data.get("config")
+        if not isinstance(workload, str) or not workload.strip():
+            raise ValueError("'workload' must be a workload name")
+        if not isinstance(config, str) or not config.strip():
+            raise ValueError("'config' must be a configuration name")
+        cfg = AcceleratorConfig()
+        sram = data.get("sram_bytes", cfg.sram_bytes)
+        if isinstance(sram, bool) or not isinstance(sram, int) or sram < 1:
+            raise ValueError("'sram_bytes' must be a positive integer")
+        bandwidth = data.get("bandwidth_bytes_per_s",
+                             cfg.dram_bandwidth_bytes_per_s)
+        if (isinstance(bandwidth, bool)
+                or not isinstance(bandwidth, (int, float)) or bandwidth <= 0):
+            raise ValueError("'bandwidth_bytes_per_s' must be a positive "
+                             "number")
+        granularity = data.get("cache_granularity")
+        if granularity is not None and (isinstance(granularity, bool)
+                                        or not isinstance(granularity, int)
+                                        or granularity < 1):
+            raise ValueError("'cache_granularity' must be a positive integer")
+        return cls(
+            workload=workload,
+            config=config,
+            cfg=replace(cfg, sram_bytes=sram,
+                        dram_bandwidth_bytes_per_s=float(bandwidth)),
+            cache_granularity=granularity,
+        )
+
 
 @dataclass(frozen=True)
 class SweepSpec:

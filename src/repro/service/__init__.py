@@ -9,9 +9,16 @@ a long-lived server instead:
   and one pre-warmed orchestrator pool, with single-flight dedup of
   concurrent identical points, cross-client batching, streamed progress,
   cancellation and bounded-queue backpressure;
+* :class:`~repro.service.gateway.GatewayService` — the sharded-fabric
+  gateway (``repro gateway``): consistent-hash routing of sweep points
+  across N daemons, merged byte-identical result streams, shard health
+  checks with requeue-on-death;
+* :mod:`~repro.service.hashing` — the consistent-hash ring the gateway
+  routes on;
 * :mod:`~repro.service.protocol` — the JSON-lines wire protocol;
 * :class:`~repro.service.client.ServiceClient` — blocking client used by
-  ``repro submit`` / ``repro jobs``;
+  ``repro submit`` / ``repro jobs`` (a gateway and a lone daemon are
+  indistinguishable to it);
 * :mod:`~repro.service.jobs` — job lifecycle records.
 
 Quickstart::
@@ -33,6 +40,8 @@ from .client import (
     ServiceError,
     SweepOutcome,
 )
+from .gateway import GatewayService, ShardState, parse_shard_addrs
+from .hashing import DEFAULT_REPLICAS, EmptyRing, HashRing, stable_hash
 from .jobs import Job, JobRegistry, JobState
 from .protocol import (
     DEFAULT_HOST,
@@ -47,6 +56,10 @@ from .server import SimulationService
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEFAULT_REPLICAS",
+    "EmptyRing",
+    "GatewayService",
+    "HashRing",
     "Job",
     "JobFailed",
     "JobRegistry",
@@ -58,7 +71,10 @@ __all__ = [
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
+    "ShardState",
     "SimulationService",
     "SweepOutcome",
     "default_port",
+    "parse_shard_addrs",
+    "stable_hash",
 ]

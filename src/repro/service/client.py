@@ -13,6 +13,7 @@ import socket
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from ..orchestrator.spec import SweepPoint
 from ..sim.results import SimResult
 from .protocol import (
     DEFAULT_HOST,
@@ -21,6 +22,7 @@ from .protocol import (
     decode_message,
     default_port,
     encode_message,
+    points_request,
     predict_request,
     sweep_request,
     tune_request,
@@ -65,6 +67,8 @@ class SweepOutcome:
     hits: int
     coalesced: int
     elapsed_s: float
+    #: Points re-hashed off a dead shard (always 0 on a single daemon).
+    requeued: int = 0
 
 
 class ServiceClient:
@@ -92,6 +96,10 @@ class ServiceClient:
         # Binary mode: the protocol's line bound is in bytes, so the
         # bounded readline below must count bytes, not characters.
         self._rfile = self._sock.makefile("rb")
+        # What kind of endpoint answered ("repro-service" shard or
+        # "repro-gateway"), learned from any message carrying a
+        # ``server`` field; steers the mid-stream EOF diagnosis.
+        self._server_role: Optional[str] = None
 
     def close(self) -> None:
         try:
@@ -122,21 +130,49 @@ class ServiceClient:
         except OSError as exc:
             raise ServiceError(f"receive failed: {exc}") from exc
         if not line:
-            # EOF mid-conversation: the daemon went away (stopped,
+            # EOF mid-conversation: the endpoint went away (stopped,
             # restarted, or crashed) between our request and its reply.
-            raise ServiceConnectionError(
-                f"the repro service at {self.host}:{self.port} closed the "
-                "connection mid-conversation — the daemon likely stopped "
-                "or restarted; completed simulations are in its result "
-                "store, so reconnect and retry the submission (restart "
-                "the daemon with 'repro serve' if it is down)")
+            # What to restart depends on what we were talking to — a
+            # gateway dying loses no shard state, while a lone daemon
+            # dying means the daemon itself must come back.
+            raise ServiceConnectionError(self._eof_diagnosis())
         if len(line) > MAX_LINE_BYTES or not line.endswith(b"\n"):
             raise ServiceError(
                 f"server sent a line exceeding {MAX_LINE_BYTES} bytes")
         try:
-            return decode_message(line)
+            msg = decode_message(line)
         except ProtocolError as exc:
             raise ServiceError(f"bad server message: {exc}") from exc
+        role = msg.get("server")
+        if isinstance(role, str):
+            self._server_role = role
+        return msg
+
+    def _eof_diagnosis(self) -> str:
+        """Actionable message for a connection that died mid-stream."""
+        where = f"{self.host}:{self.port}"
+        if self._server_role == "repro-gateway":
+            return (
+                f"the repro gateway at {where} closed the connection "
+                "mid-conversation — the gateway restarted or crashed; its "
+                "shards (and their result stores) keep running "
+                "independently, so restart the gateway with 'repro "
+                "gateway' and resubmit: completed simulations will be "
+                "warm hits")
+        if self._server_role == "repro-service":
+            return (
+                f"the repro service at {where} closed the connection "
+                "mid-conversation — the shard daemon stopped or "
+                "restarted; completed simulations are in its result "
+                "store, so reconnect and retry the submission (restart "
+                "the daemon with 'repro serve' if it is down)")
+        return (
+            f"the repro endpoint at {where} closed the connection "
+            "mid-conversation — the daemon or gateway there stopped or "
+            "restarted; completed simulations persist in the result "
+            "store, so reconnect and retry the submission (restart it "
+            "with 'repro serve' for a daemon, 'repro gateway' for a "
+            "gateway, if it is down)")
 
     def request(self, msg: Mapping[str, object]) -> Dict[str, object]:
         """Send one single-response op; raise on an ``error`` reply."""
@@ -168,6 +204,11 @@ class ServiceClient:
 
     def jobs(self) -> List[Dict[str, object]]:
         return list(self.request({"op": "jobs"})["jobs"])  # type: ignore[arg-type]
+
+    def topology(self) -> Dict[str, object]:
+        """Describe the endpoint: a lone shard reports itself, a gateway
+        reports its hash ring and per-shard health (protocol v4+)."""
+        return self.request({"op": "topology"})
 
     def stats(self) -> Dict[str, object]:
         return self.request({"op": "stats"})
@@ -209,6 +250,26 @@ class ServiceClient:
         req = sweep_request(workloads, configs=configs, sram_mb=sram_mb,
                             bandwidth_gb=bandwidth_gb,
                             cache_granularity=cache_granularity)
+        return self._collect_sweep(req, on_message)
+
+    def submit_points(self, points: Sequence[SweepPoint],
+                      on_message: Optional[
+                          Callable[[Dict[str, object]], None]] = None,
+                      ) -> SweepOutcome:
+        """Submit an explicit point list (protocol v4 ``points`` op).
+
+        A sharded gateway partitions a grid by traffic key, so each
+        shard receives an arbitrary point subset — this is the op those
+        partitions travel over, but it works against a lone daemon too.
+        """
+        return self._collect_sweep(points_request(points), on_message)
+
+    def _collect_sweep(self, req: Mapping[str, object],
+                       on_message: Optional[
+                           Callable[[Dict[str, object]], None]],
+                       ) -> SweepOutcome:
+        """Drive one point-streaming job (``sweep``/``points``) to its
+        terminal message and fold the stream into a :class:`SweepOutcome`."""
         job_id: Optional[str] = None
         points: List[PointResult] = []
         for msg in self._stream(req, on_message):
@@ -240,6 +301,7 @@ class ServiceClient:
                     hits=int(msg["hits"]),  # type: ignore[arg-type]
                     coalesced=int(msg["coalesced"]),  # type: ignore[arg-type]
                     elapsed_s=float(msg["elapsed_s"]),  # type: ignore[arg-type]
+                    requeued=int(msg.get("requeued", 0)),  # type: ignore[arg-type]
                 )
         raise ServiceError("stream ended without a terminal message")
 

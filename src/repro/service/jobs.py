@@ -51,6 +51,7 @@ class Job:
     simulations: int = 0
     hits: int = 0
     coalesced: int = 0
+    requeued: int = 0             # points re-hashed off a dead shard (gateway)
     error: Optional[str] = None
     created: float = field(default_factory=time.monotonic)
     finished: Optional[float] = None
@@ -86,6 +87,7 @@ class Job:
             "simulations": self.simulations,
             "hits": self.hits,
             "coalesced": self.coalesced,
+            "requeued": self.requeued,
             "elapsed_s": round(self.elapsed_s(), 3),
             "error": self.error,
         }

@@ -13,9 +13,14 @@ op          meaning
 ping        liveness + protocol version (single ``pong`` response)
 simulate    one (workload, config) point — sugar for a 1-point sweep
 sweep       a (workloads × configs × sram × bandwidth) grid
+points      an explicit list of sweep points (the gateway's fan-out
+            unit: a consistent-hash partition of a grid is not itself
+            a grid, so shards receive point lists)
 tune        a co-design autotuning run (:func:`repro.tuner.tune`)
 predict     analytic traffic prediction of one point (single response;
             never touches the pool or the queue — :mod:`repro.analytic`)
+topology    fabric introspection: role (gateway/shard), shard table and
+            health on a gateway, worker/store view on a shard
 jobs        snapshot of the server's job table (single response)
 stats       server / store / pool counters (single response)
 cancel      stop a running sweep job by id (single response)
@@ -39,17 +44,20 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines.configs import MAIN_CONFIGS, unknown_config_error
 from ..hw.config import GB, MIB
-from ..orchestrator.spec import SweepSpec
+from ..orchestrator.spec import SweepPoint, SweepSpec
 
 #: Bump on any wire-visible change (ops, field names, framing).
 #: v2 added the ``predict`` op; v3 the ``fidelity`` field on ``tune``
 #: (v2 daemons silently ignore unknown fields, so clients must check the
-#: ping version before relying on it).
-PROTOCOL_VERSION = 3
+#: ping version before relying on it); v4 the ``points`` and
+#: ``topology`` ops plus the ``requeued`` field on sweep ``done``
+#: messages — the sharded-fabric surface (a gateway requires protocol
+#: >= 4 of its shards).
+PROTOCOL_VERSION = 4
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -59,9 +67,10 @@ DEFAULT_PORT = 8642
 MAX_LINE_BYTES = 1 << 20
 
 #: Ops that stream multiple responses (job submissions).
-SUBMIT_OPS = ("simulate", "sweep", "tune")
+SUBMIT_OPS = ("simulate", "sweep", "points", "tune")
 #: Ops answered by exactly one response line.
-QUERY_OPS = ("ping", "predict", "jobs", "stats", "cancel", "shutdown")
+QUERY_OPS = ("ping", "predict", "topology", "jobs", "stats", "cancel",
+             "shutdown")
 KNOWN_OPS = SUBMIT_OPS + QUERY_OPS
 
 
@@ -171,6 +180,13 @@ def tune_request(workload: str,
     if objectives is not None:
         req["objectives"] = list(objectives)
     return req
+
+
+def points_request(points: Sequence[SweepPoint]) -> Dict[str, object]:
+    """An explicit-point submission (protocol v4; the gateway's fan-out
+    unit — shards receive the consistent-hash partition of a grid as a
+    point list, in the exact per-shard stream order)."""
+    return {"op": "points", "points": [p.to_wire() for p in points]}
 
 
 def predict_request(workload: str, config: str,
@@ -295,6 +311,31 @@ def parse_predict_fields(req: Mapping[str, object]) -> Dict[str, object]:
                                   else float(bandwidth) * GB),
         "entries": entries,
     }
+
+
+def request_to_points(req: Mapping[str, object]) -> "Tuple[SweepPoint, ...]":
+    """Validate a ``points`` request into concrete :class:`SweepPoint`\\ s.
+
+    Point order is preserved — the server streams results back in this
+    order, which is what lets a gateway map shard-local result indexes
+    back to its merged global stream.
+    """
+    raw = req.get("points")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            "'points' must be a non-empty list of point objects")
+    points = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise ProtocolError(f"points[{i}] must be an object")
+        try:
+            points.append(SweepPoint.from_wire(entry))
+        except ValueError as exc:
+            raise ProtocolError(f"points[{i}]: {exc}") from exc
+    config_error = unknown_config_error(sorted({p.config for p in points}))
+    if config_error is not None:
+        raise ProtocolError(config_error)
+    return tuple(points)
 
 
 def request_to_spec(req: Mapping[str, object]) -> SweepSpec:

@@ -56,6 +56,7 @@ from .protocol import (
     parse_predict_fields,
     parse_request,
     parse_tune_fields,
+    request_to_points,
     request_to_spec,
 )
 
@@ -259,6 +260,8 @@ class SimulationService:
             await self._send(writer, self._stats_msg(store_stats))
         elif op == "predict":
             await self._handle_predict(req, writer)
+        elif op == "topology":
+            await self._send(writer, self._topology_msg())
         elif op == "cancel":
             await self._handle_cancel(req, writer)
         elif op == "shutdown":
@@ -268,9 +271,27 @@ class SimulationService:
             return True
         elif op == "tune":
             await self._tune_job(req, writer)
-        else:  # "simulate" / "sweep"
+        else:  # "simulate" / "sweep" / "points"
             await self._sweep_job(req, writer)
         return False
+
+    def _topology_msg(self) -> Dict[str, object]:
+        """This node's view of itself for the ``topology`` op: a plain
+        daemon is one shard.  Gateways answer the same op with their
+        shard table (see :mod:`repro.service.gateway`)."""
+        assert self._queue is not None
+        return {
+            "type": "topology",
+            "role": "shard",
+            "protocol": PROTOCOL_VERSION,
+            "host": self.host,
+            "port": self.port,
+            "workers": self.pool.jobs if not self.pool.broken else 1,
+            "in_flight": len(self._in_flight),
+            "queue_depth": self._queue.qsize(),
+            "store": (str(self.store.directory)
+                      if self.store is not None else None),
+        }
 
     async def _handle_cancel(self, req: Dict[str, object],
                              writer: asyncio.StreamWriter) -> None:
@@ -382,8 +403,13 @@ class SimulationService:
     async def _sweep_job(self, req: Dict[str, object],
                          writer: asyncio.StreamWriter) -> None:
         try:
-            spec = request_to_spec(req)
-            points = spec.points()
+            if req["op"] == "points":
+                points: Sequence[SweepPoint] = request_to_points(req)
+                summary = ", ".join(sorted({p.workload for p in points}))
+            else:
+                spec = request_to_spec(req)
+                points = spec.points()
+                summary = ", ".join(spec.workloads)
             if not points:
                 raise ProtocolError(
                     "sweep matched no (workload, config) points")
@@ -398,8 +424,8 @@ class SimulationService:
                                       "error": str(exc)})
             return
 
-        job = self.registry.create(str(req["op"]),
-                                   summary=", ".join(spec.workloads))
+        await self._sync_store(points)
+        job = self.registry.create(str(req["op"]), summary=summary)
         job.total = len(points)
         await self._send(writer, {"type": "accepted", "job": job.id,
                                   "kind": job.kind, "points": job.total})
@@ -432,6 +458,26 @@ class SimulationService:
                 "elapsed_s": round(job.elapsed_s(), 3)})
         finally:
             waiter.cancel()
+
+    async def _sync_store(self, points: Sequence[SweepPoint]) -> None:
+        """Store-shard sync: merge records other writers appended before
+        claiming any cold key.
+
+        In a sharded fabric several daemons append to one cache
+        directory; a key this shard never simulated may already be warm
+        on disk — most importantly after a requeue, where a dying
+        shard's last results land in the file but not in any survivor's
+        index.  One first-record-wins :meth:`ResultStore.reload` (off
+        the event loop) turns those into hits instead of duplicate
+        simulations.  Jobs whose every key is already warm skip the
+        O(file) rescan.
+        """
+        if self.store is None:
+            return
+        if all(runner.peek(p.key()) is not None for p in points):
+            return
+        assert self._loop is not None
+        await self._loop.run_in_executor(None, self.store.reload)
 
     async def _claim_points(self, job: Job, points: Sequence[SweepPoint],
                             futures: Dict[str, "asyncio.Future[None]"],

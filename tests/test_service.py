@@ -18,6 +18,7 @@ from repro.baselines import runner
 from repro.baselines.configs import run_config
 from repro.cli import main
 from repro.hw.config import GB, MIB, AcceleratorConfig
+from repro.orchestrator.spec import SweepSpec
 from repro.service import (
     JobFailed,
     ServiceClient,
@@ -446,6 +447,56 @@ class TestDisconnect:
         assert "submit failed" in err
         assert "retry the submission" in err
 
+    def _role_announcing_server(self, role):
+        """A fake endpoint that answers exactly one request with a pong
+        naming its role, then hangs up — the client-visible shape of a
+        gateway (or daemon) restarting between two requests."""
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+
+        def run():
+            conn, _ = sock.accept()
+            with conn:
+                rfile = conn.makefile("rb")
+                rfile.readline()
+                conn.sendall(encode_message(
+                    {"type": "pong", "server": role,
+                     "protocol": PROTOCOL_VERSION}))
+                rfile.readline()  # second request: read it, answer nothing
+            sock.close()
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        return sock.getsockname()[1], t
+
+    def test_eof_after_gateway_pong_says_restart_the_gateway(self):
+        """A dead gateway loses no shard state — the guidance must say
+        to restart the *gateway* and promise warm hits, not tell the
+        user to restart daemons that are still running."""
+        port, t = self._role_announcing_server("repro-gateway")
+        with ServiceClient(port=port, timeout=10) as client:
+            assert client.ping()["server"] == "repro-gateway"
+            with pytest.raises(ServiceConnectionError) as info:
+                client.ping()
+        t.join(timeout=10)
+        text = str(info.value)
+        assert "repro gateway" in text
+        assert "shards" in text and "warm hits" in text
+        assert "'repro serve'" not in text
+
+    def test_eof_after_shard_pong_says_restart_the_daemon(self):
+        port, t = self._role_announcing_server("repro-service")
+        with ServiceClient(port=port, timeout=10) as client:
+            assert client.ping()["server"] == "repro-service"
+            with pytest.raises(ServiceConnectionError) as info:
+                client.ping()
+        t.join(timeout=10)
+        text = str(info.value)
+        assert "shard daemon stopped or restarted" in text
+        assert "'repro serve'" in text
+        assert "gateway" not in text
+
     def test_server_stop_mid_job_surfaces_service_error(self, tmp_path,
                                                         monkeypatch):
         """A real daemon stopping under a streaming sweep: the client
@@ -674,3 +725,78 @@ class TestServiceCli:
             free_port = probe.getsockname()[1]
         with pytest.raises(ServiceConnectionError):
             ServiceClient(port=free_port, timeout=5)
+
+
+class TestPointsOp:
+    """The protocol-v4 explicit-point-list op against a lone daemon —
+    the op a gateway uses to ship ring partitions to its shards."""
+
+    def _points(self):
+        return SweepSpec(
+            workloads=(WORKLOAD,), configs=CONFIGS,
+            bandwidths=tuple(bw * GB for bw in BANDWIDTH_GB)).points()
+
+    def test_points_matches_sweep_byte_identical(self, server):
+        with server.client() as client:
+            via_points = client.submit_points(self._points())
+            via_sweep = submit_standard(client)
+        assert via_points.simulations == DISTINCT_KEYS
+        # The sweep re-states the same grid: every key is already warm,
+        # proving the two ops share one traffic-key space.
+        assert via_sweep.simulations == 0
+        assert via_sweep.hits == DISTINCT_KEYS
+        assert [json.dumps(p.result.to_dict(), sort_keys=True)
+                for p in via_points.points] \
+            == [json.dumps(r.to_dict(), sort_keys=True)
+                for r in expected_results()]
+        assert [p.result.to_dict() for p in via_sweep.points] \
+            == [p.result.to_dict() for p in via_points.points]
+
+    def test_point_wire_roundtrip_keys_identically(self):
+        from repro.orchestrator.spec import SweepPoint
+
+        for point in self._points():
+            again = SweepPoint.from_wire(point.to_wire())
+            assert again.key() == point.key()
+            assert again.cfg == point.cfg
+
+    def test_malformed_points_wire_errors(self, server):
+        raw = TestWireErrors()
+        for payload, needle in (
+            (b'{"op": "points"}\n', "points"),
+            (b'{"op": "points", "points": []}\n', "non-empty"),
+            (b'{"op": "points", "points": [7]}\n', "points[0]"),
+            (b'{"op": "points", "points": [{"workload": "w"}]}\n',
+             "points[0]"),
+        ):
+            reply = raw._raw(server, payload)
+            assert reply["type"] == "error"
+            assert needle in reply["error"]
+
+
+class TestTopologyOp:
+    def test_lone_daemon_reports_itself_as_one_shard(self, server):
+        with server.client() as client:
+            topo = client.topology()
+        assert topo["type"] == "topology"
+        assert topo["role"] == "shard"
+        assert topo["protocol"] == PROTOCOL_VERSION
+        assert topo["port"] == server.port
+        assert topo["store"] == str(server.service.store.directory)
+        assert topo["workers"] >= 1
+
+
+class TestShardFuzz:
+    """The shared hostile-frame corpus against a lone daemon's listener
+    (test_fabric.py runs the same corpus against a gateway)."""
+
+    def test_shard_survives_hostile_frames(self, server):
+        from fabric import fuzz_exchange, fuzz_payloads
+
+        for payload in fuzz_payloads():
+            replies = fuzz_exchange(server.port, payload)
+            if any(line.strip() for line in payload.split(b"\n")):
+                assert replies, f"no reply to {payload[:40]!r}"
+            assert all(r.get("type") == "error" for r in replies), payload
+        with server.client() as client:
+            assert client.ping()["type"] == "pong"

@@ -12,6 +12,7 @@ import dataclasses
 from repro.analysis.service_report import (
     render_jobs,
     render_service_stats,
+    render_topology,
     summarize_sweep_outcome,
     sweep_outcome_rows,
 )
@@ -99,6 +100,42 @@ class TestServiceStats:
         assert "75% answered without simulating" in out
 
 
+class TestTopologyRendering:
+    def test_gateway_stats_render_routing_counters(self):
+        out = render_service_stats({
+            "role": "gateway", "uptime_s": 10.0, "points_streamed": 20,
+            "jobs": {"done": 2}, "requeued_total": 3,
+            "shards_healthy": 2, "shards_total": 3,
+        })
+        assert "Gateway stats" in out
+        assert "2/3 healthy" in out
+        assert "requeued:        3 point(s)" in out
+
+    def test_single_daemon_topology(self):
+        out = render_topology({
+            "role": "shard", "protocol": 4, "host": "127.0.0.1",
+            "port": 8642, "workers": 4, "in_flight": 1, "queue_depth": 2,
+            "store": "/tmp/cache",
+        })
+        assert "single shard (protocol v4)" in out
+        assert "127.0.0.1:8642" in out and "/tmp/cache" in out
+
+    def test_gateway_topology_lists_shard_health(self):
+        out = render_topology({
+            "role": "gateway", "protocol": 4, "host": "127.0.0.1",
+            "port": 9000, "replicas": 64, "requeued_total": 5,
+            "shards": [
+                {"id": "127.0.0.1:8643", "healthy": True, "protocol": 4,
+                 "deaths": 0, "error": None},
+                {"id": "127.0.0.1:8644", "healthy": False, "protocol": 4,
+                 "deaths": 1, "error": "unreachable: refused"},
+            ],
+        })
+        assert "gateway over 2 shard(s), 1 healthy" in out
+        assert "DOWN" in out and "unreachable: refused" in out
+        assert "64 virtual node(s)" in out
+
+
 class TestSweepOutcome:
     def _outcome(self, n_points):
         points = [
@@ -114,7 +151,13 @@ class TestSweepOutcome:
     def test_summary_line_is_greppable(self):
         line = summarize_sweep_outcome(self._outcome(3))
         assert line == ("job j9: 3 points  simulations: 1  warm hits: 2  "
-                        "coalesced: 0  elapsed: 0.250s")
+                        "coalesced: 0  requeued: 0  elapsed: 0.250s\n"
+                        "simulations re-run: 1")
+
+    def test_requeued_points_surface_in_the_summary(self):
+        outcome = dataclasses.replace(self._outcome(3), requeued=2)
+        line = summarize_sweep_outcome(outcome)
+        assert "requeued: 2" in line
 
     def test_empty_outcome_summarises_cleanly(self):
         line = summarize_sweep_outcome(self._outcome(0))
