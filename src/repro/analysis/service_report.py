@@ -52,9 +52,6 @@ def render_service_stats(stats: Mapping[str, object]) -> str:
     pool = dict(stats.get("pool") or {})  # type: ignore[arg-type]
     jobs = dict(stats.get("jobs") or {})  # type: ignore[arg-type]
     per_s = points / uptime if uptime > 0 else 0.0
-    # `sims` is the server-wide counter and includes tune evaluations,
-    # which stream no points — clamp so the ratio stays meaningful.
-    dedup = max(0.0, 1.0 - sims / points) if points > 0 else 0.0
     lines = [
         "Service stats",
         f"  uptime:          {uptime:.1f} s",
@@ -62,8 +59,23 @@ def render_service_stats(stats: Mapping[str, object]) -> str:
         + (", ".join(f"{n} {state}" for state, n in sorted(jobs.items()))
            or "none"),
         f"  points streamed: {points} ({per_s:.2f} points/s)",
-        f"  simulations:     {sims} "
-        f"({dedup:.0%} answered without simulating)",
+        f"  simulations:     {sims}",
+    ]
+    if "hits_total" in stats or "coalesced_total" in stats:
+        # v5 daemons split the dedup sources: a warm store hit and a
+        # coalesced in-flight wait are different operational signals.
+        lines.append(
+            f"  dedup:           {stats.get('hits_total', 0)} warm hit(s), "
+            f"{stats.get('coalesced_total', 0)} coalesced, "
+            f"{stats.get('shed_total', 0)} shed")
+    else:
+        # Pre-v5 daemons only expose the aggregate ratio.  `sims` is the
+        # server-wide counter and includes tune evaluations, which
+        # stream no points — clamp so the ratio stays meaningful.
+        dedup = max(0.0, 1.0 - sims / points) if points > 0 else 0.0
+        lines.append(
+            f"  dedup:           {dedup:.0%} answered without simulating")
+    lines += [
         f"  queue depth:     {stats.get('queue_depth', 0)} "
         f"(+{stats.get('in_flight', 0)} in flight)",
         f"  pool:            {pool.get('jobs', 1)} worker(s), "
@@ -103,6 +115,85 @@ def _render_gateway_stats(stats: Mapping[str, object]) -> str:
         f"  shards:          {stats.get('shards_healthy', 0)}/"
         f"{stats.get('shards_total', 0)} healthy",
     ])
+
+
+def render_metrics(msg: Mapping[str, object]) -> str:
+    """The ``repro metrics`` report for either endpoint role.
+
+    Every counter line is grep-friendly (``label: value``) so smoke
+    tests and shell dashboards can scrape it without JSON tooling; the
+    raw message is one ``--json`` flag away.
+    """
+    rates = dict(msg.get("rates") or {})  # type: ignore[arg-type]
+    jobs = dict(msg.get("jobs") or {})  # type: ignore[arg-type]
+    window = float(rates.get("window_s", 60.0))  # type: ignore[arg-type]
+    role = str(msg.get("role", "shard"))
+    lines = [
+        f"Metrics: {role} (protocol v{msg.get('protocol', '?')}, "
+        f"uptime {float(msg.get('uptime_s', 0.0)):.1f} s)",  # type: ignore[arg-type]
+        f"  jobs:            "
+        + (", ".join(f"{n} {state}" for state, n in sorted(jobs.items()))
+           or "none"),
+        f"  points streamed: {msg.get('points_streamed', 0)}",
+    ]
+    if role == "gateway":
+        lines += [
+            f"  points/s:        {rates.get('points_per_s', 0.0)} "
+            f"(over {window:.0f} s)",
+            f"  requeued total:  {msg.get('requeued_total', 0)}",
+            f"  shards healthy:  {msg.get('shards_healthy', 0)}/"
+            f"{msg.get('shards_total', 0)}",
+        ]
+        shards = [dict(s) for s in msg.get("shards", [])]  # type: ignore[union-attr]
+        rows = [[
+            str(s.get("id", "?")),
+            "up" if s.get("healthy") else "DOWN",
+            int(s.get("deaths", 0)),
+            int(s.get("requeued", 0)),
+            str(s.get("error") or ""),
+        ] for s in shards]
+        if rows:
+            lines.append(render_table(
+                ["shard", "health", "deaths", "requeued", "last error"],
+                rows,
+                title="Shards",
+            ))
+        return "\n".join(lines)
+    store = msg.get("store")
+    queue_clients = dict(msg.get("queue_clients") or {})  # type: ignore[arg-type]
+    lines += [
+        f"  simulations:     {msg.get('simulations', 0)}",
+        f"  sims/s:          {rates.get('sims_per_s', 0.0)} "
+        f"(over {window:.0f} s)",
+        f"  analytic/s:      {rates.get('analytic_evals_per_s', 0.0)}",
+        f"  warm hits:       {msg.get('hits_total', 0)}",
+        f"  coalesced:       {msg.get('coalesced_total', 0)}",
+        f"  shed:            {msg.get('shed_total', 0)}",
+        f"  queue depth:     {msg.get('queue_depth', 0)}/"
+        f"{msg.get('max_pending', '?')} "
+        f"(+{msg.get('in_flight', 0)} in flight)",
+    ]
+    for client, depth in queue_clients.items():
+        lines.append(f"    {client:30s} {depth} queued")
+    if store is None:
+        lines.append("  store:           disabled")
+    else:
+        store = dict(store)  # type: ignore[arg-type]
+        lines.append(
+            f"  store entries:   {store.get('entries', 0)}")
+        lines.append(
+            f"  store hit rate:  {float(store.get('hit_rate', 0.0)):.2%} "  # type: ignore[arg-type]
+            f"({store.get('hits', 0)} hits / "
+            f"{store.get('misses', 0)} misses)")
+        skipped = []
+        for name in ("stale", "duplicates", "corrupt"):
+            if store.get(name):
+                skipped.append(f"{store[name]} {name}")
+        if skipped:
+            lines.append(f"  store skipped:   {', '.join(skipped)}"
+                         + ("  <-- corrupt records growing; check disk"
+                            if store.get("corrupt") else ""))
+    return "\n".join(lines)
 
 
 def render_topology(topo: Mapping[str, object]) -> str:

@@ -19,6 +19,7 @@ Usage::
     python -m repro submit --workloads 'cg/*' --configs CELLO
     python -m repro submit --tune gmres/fv1/m=8/N=1
     python -m repro jobs [--stats|--topology|--cancel ID|--shutdown]
+    python -m repro metrics [--watch]    # live operational counters
 
 Experiment and sweep runs read/write an on-disk result store
 (``~/.cache/repro`` by default; override with ``--cache-dir`` or the
@@ -31,6 +32,7 @@ reports are byte-identical to the serial path either way.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -126,6 +128,8 @@ def list_experiments() -> str:
     lines.append("  submit   send a sweep or tune job to a running service")
     lines.append("  jobs     list service jobs; --stats, --topology, "
                  "--cancel, --shutdown")
+    lines.append("  metrics  live service counters: queue, dedup, rates; "
+                 "--watch to poll")
     return "\n".join(lines)
 
 
@@ -493,6 +497,14 @@ def _add_service_addr_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _open_request_log(path: Optional[str]):
+    if path is None:
+        return None
+    from .service import RequestLog
+
+    return RequestLog.open(path)
+
+
 def _serve_main(argv: List[str]) -> int:
     import asyncio
 
@@ -527,7 +539,41 @@ def _serve_main(argv: List[str]) -> int:
         help="how long the dispatcher waits to batch concurrent clients' "
              "points together (default 20)",
     )
+    parser.add_argument(
+        "--client-quota", type=int, default=None, metavar="N",
+        help="per-client cap on queued points (default: the global "
+             "--max-pending bound)",
+    )
+    parser.add_argument(
+        "--bulk-threshold", type=int, default=64, metavar="N",
+        help="untagged submissions larger than this schedule as bulk "
+             "(sheddable) instead of interactive (default 64)",
+    )
+    parser.add_argument(
+        "--client-weight", action="append", default=[], metavar="NAME=W",
+        help="weighted round-robin share for a client id (repeatable; "
+             "default weight 1)",
+    )
+    parser.add_argument(
+        "--log-json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write one JSON line per served request to PATH "
+             "(default stderr)",
+    )
     args = parser.parse_args(argv)
+
+    weights = {}
+    for spec in args.client_weight:
+        name, sep, value = spec.partition("=")
+        if not sep or not name.strip():
+            print(f"bad --client-weight {spec!r}: expected NAME=W",
+                  file=sys.stderr)
+            return 2
+        try:
+            weights[name.strip()] = int(value)
+        except ValueError:
+            print(f"bad --client-weight {spec!r}: weight must be an "
+                  "integer", file=sys.stderr)
+            return 2
 
     service = SimulationService(
         host=args.host,
@@ -537,6 +583,10 @@ def _serve_main(argv: List[str]) -> int:
         jobs=None if args.jobs == 0 else max(1, args.jobs),
         max_pending=args.max_pending,
         batch_window_s=args.batch_window_ms / 1000.0,
+        quota=args.client_quota,
+        weights=weights,
+        bulk_threshold=args.bulk_threshold,
+        request_log=_open_request_log(args.log_json),
     )
     try:
         asyncio.run(service.run(announce=print))
@@ -586,6 +636,11 @@ def _gateway_main(argv: List[str]) -> int:
         help="per-line read timeout on shard result streams; exceeding "
              "it requeues the shard's remaining points (default 600)",
     )
+    parser.add_argument(
+        "--log-json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write one JSON line per served request to PATH "
+             "(default stderr)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -602,6 +657,7 @@ def _gateway_main(argv: List[str]) -> int:
         health_interval_s=args.health_interval,
         ping_timeout_s=args.ping_timeout,
         shard_read_timeout_s=args.shard_read_timeout,
+        request_log=_open_request_log(args.log_json),
     )
     try:
         asyncio.run(gateway.run(announce=print))
@@ -678,6 +734,16 @@ def _submit_main(argv: List[str]) -> int:
         help="tune: evaluation fidelity (default exact; analytic/hybrid "
              "need a protocol-v3 daemon)",
     )
+    parser.add_argument(
+        "--client", default=os.environ.get("REPRO_CLIENT"), metavar="ID",
+        help="tenant id for fair scheduling and request logs "
+             "(default $REPRO_CLIENT, else anonymous)",
+    )
+    parser.add_argument(
+        "--priority", default=None, choices=("interactive", "bulk"),
+        help="scheduling class; default: by size against the server's "
+             "bulk threshold",
+    )
     args = parser.parse_args(argv)
 
     if args.tune is None and args.workloads is None:
@@ -689,8 +755,13 @@ def _submit_main(argv: List[str]) -> int:
     if args.tune is None and not _check_configs(configs):
         return 2
 
+    def _on_retry(attempt: int, delay: float, exc: Exception) -> None:
+        print(f"server overloaded ({exc}); retry {attempt} in "
+              f"{delay:.1f}s", file=sys.stderr)
+
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
+        with ServiceClient(host=args.host, port=args.port,
+                           client_id=args.client) as client:
             if args.tune is not None:
                 from .analysis.tuner_report import render_tune_result
                 from .tuner import TuneResult
@@ -714,6 +785,8 @@ def _submit_main(argv: List[str]) -> int:
                 configs=configs,
                 sram_mb=_parse_floats(args.sram_mb),
                 bandwidth_gb=_parse_floats(args.bandwidth_gb),
+                priority=args.priority,
+                on_retry=_on_retry,
             )
     except (ServiceError, JobFailed) as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
@@ -783,6 +856,56 @@ def _jobs_main(argv: List[str]) -> int:
     return 0
 
 
+def _metrics_main(argv: List[str]) -> int:
+    import json as json_mod
+    import time
+
+    from .analysis.service_report import render_metrics
+    from .service import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Show a running daemon's or gateway's operational "
+                    "counters: queue depth, dedup split, windowed "
+                    "throughput rates, store hit rate, per-shard health.",
+    )
+    _add_service_addr_args(parser)
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="poll and re-render until interrupted",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between --watch polls (default 2)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw metrics message instead of the report",
+    )
+    args = parser.parse_args(argv)
+
+    def render_once(client: "ServiceClient") -> None:
+        msg = client.metrics()
+        if args.json:
+            print(json_mod.dumps(msg, indent=2, sort_keys=True))
+        else:
+            print(render_metrics(msg))
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            render_once(client)
+            while args.watch:
+                time.sleep(max(0.1, args.interval))
+                print()
+                render_once(client)
+    except ServiceError as exc:
+        print(f"metrics query failed: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "list-workloads":
@@ -804,6 +927,8 @@ def main(argv: list | None = None) -> int:
         return _submit_main(argv[1:])
     if argv and argv[0] == "jobs":
         return _jobs_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -813,7 +938,7 @@ def main(argv: list | None = None) -> int:
         "experiments", nargs="*",
         help="experiment ids (e.g. fig12 table2), 'all', or 'list'; see "
              "also the 'sweep', 'tune', 'cache', 'bench', 'serve', "
-             "'gateway', 'submit' and 'jobs' subcommands",
+             "'gateway', 'submit', 'jobs' and 'metrics' subcommands",
     )
     _add_cache_args(parser)
     args = parser.parse_args(argv)

@@ -100,6 +100,8 @@ class ResultStore:
         self.simulations = 0
         self.stale = 0          # records skipped on load (schema mismatch)
         self.duplicates = 0     # records skipped on load (key already seen)
+        self.corrupt = 0        # records skipped on load (not valid JSON)
+        self._warned_corrupt = 0
         self._index: Dict[str, SimResult] = {}
         self._write_failed = False
         self._lock = threading.RLock()
@@ -117,19 +119,27 @@ class ResultStore:
 
     def _load(self) -> None:
         """Initial scan of the on-disk file (caller holds the lock)."""
-        self.stale, self.duplicates = self._scan_into(self._index)
+        self.stale, self.duplicates, self.corrupt = \
+            self._scan_into(self._index)
+        self._warn_corrupt()
 
-    def _scan_into(self, index: Dict[str, SimResult]) -> Tuple[int, int]:
-        """Scan the file into ``index``; returns (stale, duplicates).
+    def _scan_into(self, index: Dict[str, SimResult]
+                   ) -> Tuple[int, int, int]:
+        """Scan the file into ``index``; returns (stale, duplicates,
+        corrupt).
 
         Duplicate keys — concurrent writers racing the same point — keep
-        the **first** record; later copies only count.
+        the **first** record; later copies only count.  Undecodable
+        lines are skipped but *counted*: exactly one torn final line is
+        expected after an interrupted writer, so a growing corrupt count
+        is a store-health signal (bad disk, truncation, foreign writer),
+        not routine noise.
         """
-        stale = duplicates = 0
+        stale = duplicates = corrupt = 0
         try:
             fh = self.path.open("r", encoding="utf-8")
         except OSError:
-            return 0, 0  # missing or unreadable: behave as an empty store
+            return 0, 0, 0  # missing or unreadable: behave as empty
         with fh:
             for line in fh:
                 line = line.strip()
@@ -138,7 +148,8 @@ class ResultStore:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn final line from an interrupted writer
+                    corrupt += 1
+                    continue
                 if record.get("v") != self.schema_version:
                     stale += 1
                     continue
@@ -147,7 +158,15 @@ class ResultStore:
                     duplicates += 1
                     continue
                 index[ks] = SimResult.from_dict(record["result"])
-        return stale, duplicates
+        return stale, duplicates, corrupt
+
+    def _warn_corrupt(self) -> None:
+        """Warn (once per growth) when undecodable records accumulate."""
+        if self.corrupt > self._warned_corrupt:
+            print(f"repro: result store {self.path} has {self.corrupt} "
+                  "corrupt (undecodable) record(s); intact records were "
+                  "kept", file=sys.stderr)
+            self._warned_corrupt = self.corrupt
 
     def reload(self) -> int:
         """Re-scan the file, merging records other processes appended since
@@ -160,13 +179,15 @@ class ResultStore:
         (the daemon's event loop and simulation threads) never stall on a
         long rescan; entries they add mid-scan survive via the merge."""
         fresh: Dict[str, SimResult] = {}
-        stale, duplicates = self._scan_into(fresh)
+        stale, duplicates, corrupt = self._scan_into(fresh)
         with self._lock:
             before = len(self._index)
             for ks, result in self._index.items():
                 fresh.setdefault(ks, result)
             self._index = fresh
-            self.stale, self.duplicates = stale, duplicates
+            self.stale, self.duplicates, self.corrupt = \
+                stale, duplicates, corrupt
+            self._warn_corrupt()
             return len(self._index) - before
 
     def get(self, key: Tuple) -> Optional[SimResult]:
@@ -238,7 +259,8 @@ class ResultStore:
             dropped = len(self._index) + self.stale
             self._index.clear()
             self.hits = self.misses = self.simulations = 0
-            self.stale = self.duplicates = 0
+            self.stale = self.duplicates = self.corrupt = 0
+            self._warned_corrupt = 0
             for p in (self.path, self.stats_path):
                 try:
                     p.unlink()
@@ -296,6 +318,8 @@ class ResultStore:
             skipped.append(f"+{self.stale} stale-schema")
         if self.duplicates:
             skipped.append(f"+{self.duplicates} duplicate")
+        if self.corrupt:
+            skipped.append(f"+{self.corrupt} corrupt")
         lines = [
             f"cache dir:      {self.directory}",
             f"schema version: {self.schema_version}",

@@ -34,6 +34,7 @@ See ``docs/service.md`` for the full protocol and operations guide.
 
 from .client import (
     JobFailed,
+    Overloaded,
     PointResult,
     ServiceClient,
     ServiceConnectionError,
@@ -43,21 +44,27 @@ from .client import (
 from .gateway import GatewayService, ShardState, parse_shard_addrs
 from .hashing import DEFAULT_REPLICAS, EmptyRing, HashRing, stable_hash
 from .jobs import Job, JobRegistry, JobState
+from .metrics import RateMeter
 from .protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    ERROR_OVERLOADED,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     default_port,
 )
+from .reqlog import RequestLog
+from .scheduling import FairQueue, classify_priority
 from .server import SimulationService
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_REPLICAS",
+    "ERROR_OVERLOADED",
     "EmptyRing",
+    "FairQueue",
     "GatewayService",
     "HashRing",
     "Job",
@@ -65,15 +72,19 @@ __all__ = [
     "JobRegistry",
     "JobState",
     "MAX_LINE_BYTES",
+    "Overloaded",
     "PROTOCOL_VERSION",
     "PointResult",
     "ProtocolError",
+    "RateMeter",
+    "RequestLog",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
     "ShardState",
     "SimulationService",
     "SweepOutcome",
+    "classify_priority",
     "default_port",
     "parse_shard_addrs",
     "stable_hash",

@@ -9,7 +9,9 @@ socket (``nc``, another language) speaks the same protocol.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -43,6 +45,22 @@ class JobFailed(ServiceError):
     def __init__(self, message: str, job_id: Optional[str] = None) -> None:
         super().__init__(message)
         self.job_id = job_id
+
+
+class Overloaded(JobFailed):
+    """The server shed this submission (typed ``overloaded`` error).
+
+    Not a failure of the work itself: the server refused to queue it
+    right now.  ``retry_after_s`` is the server's backoff hint; the
+    submit helpers retry automatically (with exponential backoff and
+    jitter) unless told not to.  Anything the server simulated before
+    shedding is warm in its store, so a retry never duplicates work.
+    """
+
+    def __init__(self, message: str, job_id: Optional[str] = None,
+                 retry_after_s: float = 1.0) -> None:
+        super().__init__(message, job_id)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -82,9 +100,13 @@ class ServiceClient:
 
     def __init__(self, host: str = DEFAULT_HOST,
                  port: Optional[int] = None,
-                 timeout: float = 600.0) -> None:
+                 timeout: float = 600.0,
+                 client_id: Optional[str] = None) -> None:
         self.host = host
         self.port = default_port() if port is None else port
+        #: Tenant tag attached to every submission (fair scheduling,
+        #: per-client quotas, request logs); ``None`` submits as "anon".
+        self.client_id = client_id
         try:
             self._sock = socket.create_connection((self.host, self.port),
                                                   timeout=timeout)
@@ -176,6 +198,10 @@ class ServiceClient:
 
     def request(self, msg: Mapping[str, object]) -> Dict[str, object]:
         """Send one single-response op; raise on an ``error`` reply."""
+        if self.client_id is not None and "client" not in msg:
+            # Tag query ops too, so the server's request log attributes
+            # them; servers of any version ignore unknown fields.
+            msg = {**msg, "client": self.client_id}
         self._send(msg)
         reply = self._recv()
         if reply.get("type") == "error":
@@ -213,6 +239,19 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self.request({"op": "stats"})
 
+    def metrics(self) -> Dict[str, object]:
+        """Cheap operational counters (protocol v5): queue depth, dedup
+        split, windowed rates, store hit rate — safe to poll."""
+        try:
+            return self.request({"op": "metrics"})
+        except ServiceError as exc:
+            if "op" in str(exc) and "metrics" in str(exc):
+                raise ServiceError(
+                    f"the endpoint at {self.host}:{self.port} does not "
+                    "know the 'metrics' op (needs protocol v5+); restart "
+                    "it with this build") from exc
+            raise
+
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self.request({"op": "cancel", "job": job_id})
 
@@ -241,20 +280,33 @@ class ServiceClient:
                      cache_granularity: Optional[int] = None,
                      on_message: Optional[
                          Callable[[Dict[str, object]], None]] = None,
+                     priority: Optional[str] = None,
+                     overload_retries: int = 4,
+                     on_retry: Optional[
+                         Callable[[int, float, "Overloaded"], None]] = None,
                      ) -> SweepOutcome:
         """Submit a sweep and block until it finishes.
 
         ``on_message`` observes every raw response line (progress UIs);
-        raises :class:`JobFailed` if the job errors or is cancelled.
+        raises :class:`JobFailed` if the job errors or is cancelled.  A
+        shed submission (:class:`Overloaded`) is resubmitted after a
+        jittered backoff up to ``overload_retries`` times; ``on_retry``
+        observes each backoff (attempt, delay_s, error).
         """
         req = sweep_request(workloads, configs=configs, sram_mb=sram_mb,
                             bandwidth_gb=bandwidth_gb,
-                            cache_granularity=cache_granularity)
-        return self._collect_sweep(req, on_message)
+                            cache_granularity=cache_granularity,
+                            client=self.client_id, priority=priority)
+        return self._submit_with_retry(req, on_message, overload_retries,
+                                       on_retry)
 
     def submit_points(self, points: Sequence[SweepPoint],
                       on_message: Optional[
                           Callable[[Dict[str, object]], None]] = None,
+                      priority: Optional[str] = None,
+                      overload_retries: int = 4,
+                      on_retry: Optional[
+                          Callable[[int, float, "Overloaded"], None]] = None,
                       ) -> SweepOutcome:
         """Submit an explicit point list (protocol v4 ``points`` op).
 
@@ -262,7 +314,35 @@ class ServiceClient:
         shard receives an arbitrary point subset — this is the op those
         partitions travel over, but it works against a lone daemon too.
         """
-        return self._collect_sweep(points_request(points), on_message)
+        req = points_request(points, client=self.client_id,
+                             priority=priority)
+        return self._submit_with_retry(req, on_message, overload_retries,
+                                       on_retry)
+
+    def _submit_with_retry(self, req: Mapping[str, object],
+                           on_message: Optional[
+                               Callable[[Dict[str, object]], None]],
+                           overload_retries: int,
+                           on_retry: Optional[
+                               Callable[[int, float, "Overloaded"], None]],
+                           ) -> SweepOutcome:
+        """Resubmit on :class:`Overloaded` with jittered exponential
+        backoff.  The server leaves the connection open after an error
+        reply, so retries reuse this connection; completed simulations
+        are warm in the server's store, so a retry repeats no work."""
+        attempt = 0
+        while True:
+            try:
+                return self._collect_sweep(req, on_message)
+            except Overloaded as exc:
+                if attempt >= overload_retries:
+                    raise
+                delay = min(60.0, exc.retry_after_s * (2 ** attempt)
+                            * random.uniform(0.5, 1.5))
+                if on_retry is not None:
+                    on_retry(attempt + 1, delay, exc)
+                time.sleep(delay)
+                attempt += 1
 
     def _collect_sweep(self, req: Mapping[str, object],
                        on_message: Optional[
@@ -292,7 +372,13 @@ class ServiceClient:
             elif kind == "cancelled":
                 raise JobFailed(f"job {job_id} was cancelled", job_id)
             elif kind == "error":
-                raise JobFailed(str(msg.get("error", "job failed")), job_id)
+                error = str(msg.get("error", "job failed"))
+                if msg.get("code") == "overloaded":
+                    raise Overloaded(
+                        error, job_id or msg.get("job"),  # type: ignore[arg-type]
+                        retry_after_s=float(
+                            msg.get("retry_after_s", 1.0)))  # type: ignore[arg-type]
+                raise JobFailed(error, job_id)
             elif kind == "done":
                 return SweepOutcome(
                     job_id=str(msg["job"]),
@@ -339,7 +425,7 @@ class ServiceClient:
                            seed=seed, objectives=objectives, sram_mb=sram_mb,
                            entries=entries,
                            include_baselines=include_baselines,
-                           fidelity=fidelity)
+                           fidelity=fidelity, client=self.client_id)
         job_id: Optional[str] = None
         tune_result: Optional[Dict[str, object]] = None
         for msg in self._stream(req, on_message):
@@ -349,7 +435,13 @@ class ServiceClient:
             elif kind == "tune-result":
                 tune_result = dict(msg["result"])  # type: ignore[arg-type]
             elif kind == "error":
-                raise JobFailed(str(msg.get("error", "tune failed")), job_id)
+                error = str(msg.get("error", "tune failed"))
+                if msg.get("code") == "overloaded":
+                    raise Overloaded(
+                        error, job_id or msg.get("job"),  # type: ignore[arg-type]
+                        retry_after_s=float(
+                            msg.get("retry_after_s", 1.0)))  # type: ignore[arg-type]
+                raise JobFailed(error, job_id)
             elif kind == "done":
                 if tune_result is None:
                     raise ServiceError("tune finished without a result")

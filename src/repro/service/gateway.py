@@ -51,6 +51,7 @@ from ..orchestrator.store import ResultStore
 from ..workloads.registry import all_workloads, is_resolvable
 from .hashing import DEFAULT_REPLICAS, EmptyRing, HashRing
 from .jobs import Job, JobRegistry, JobState
+from .metrics import DEFAULT_WINDOW_S, RateMeter
 from .protocol import (
     DEFAULT_HOST,
     MAX_LINE_BYTES,
@@ -59,10 +60,13 @@ from .protocol import (
     decode_message,
     encode_message,
     parse_request,
+    parse_submit_fields,
     points_request,
     request_to_points,
     request_to_spec,
 )
+from .reqlog import RequestLog
+from .scheduling import classify_priority
 
 
 class _JobCancelled(Exception):
@@ -71,6 +75,20 @@ class _JobCancelled(Exception):
 
 class _NoHealthyShards(Exception):
     """Internal control flow: routing found zero live shards."""
+
+
+class _ShardJobError(Exception):
+    """A shard reported a terminal job error; carries the typed fields
+    (``code`` / ``retry_after_s``) so an ``overloaded`` shed by a shard
+    reaches the gateway's client intact and its retry logic still
+    works."""
+
+    def __init__(self, shard_id: str, error: str,
+                 code: Optional[str] = None,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(f"shard {shard_id}: {error}")
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 def parse_shard_addrs(specs: Sequence[str]) -> List[Tuple[str, int]]:
@@ -114,6 +132,7 @@ class ShardState:
     protocol: Optional[int] = None
     last_error: Optional[str] = None
     deaths: int = 0               # times this shard failed mid-job
+    requeued: int = 0             # points re-hashed off this shard's deaths
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -123,6 +142,7 @@ class ShardState:
             "healthy": self.healthy,
             "protocol": self.protocol,
             "deaths": self.deaths,
+            "requeued": self.requeued,
             "error": self.last_error,
         }
 
@@ -145,7 +165,9 @@ class GatewayService:
                  health_interval_s: float = 2.0,
                  ping_timeout_s: float = 5.0,
                  shard_read_timeout_s: float = 600.0,
-                 keep_jobs: int = 256) -> None:
+                 keep_jobs: int = 256,
+                 request_log: Optional[RequestLog] = None,
+                 metrics_window_s: float = DEFAULT_WINDOW_S) -> None:
         self.host = host
         self.port = port
         self.replicas = max(1, replicas)
@@ -153,9 +175,11 @@ class GatewayService:
         self.ping_timeout_s = max(0.05, ping_timeout_s)
         self.shard_read_timeout_s = max(0.05, shard_read_timeout_s)
         self.registry = JobRegistry(keep=keep_jobs)
+        self.request_log = request_log
         self.startup_error: Optional[BaseException] = None
         self.points_streamed = 0
         self.requeued_total = 0
+        self._points_meter = RateMeter(metrics_window_s)
         self._shards: "Dict[str, ShardState]" = {}
         for shard_host, shard_port in shards:
             state = ShardState(id=f"{shard_host}:{shard_port}",
@@ -327,6 +351,7 @@ class GatewayService:
                               writer: asyncio.StreamWriter) -> bool:
         """Serve one request; ``True`` closes the connection."""
         op = req["op"]
+        t_start = time.monotonic()
         if op == "ping":
             healthy = sum(1 for s in self._shards.values() if s.healthy)
             await self._send(writer, {"type": "pong",
@@ -339,6 +364,8 @@ class GatewayService:
                                       "jobs": self.registry.snapshots()})
         elif op == "stats":
             await self._send(writer, self._stats_msg())
+        elif op == "metrics":
+            await self._send(writer, self._metrics_msg())
         elif op == "topology":
             await self._send(writer, self._topology_msg())
         elif op == "predict":
@@ -354,6 +381,14 @@ class GatewayService:
             await self._forward_tune(req, writer)
         else:  # "simulate" / "sweep" / "points"
             await self._merged_job(req, writer)
+        if (op not in ("simulate", "sweep", "points", "tune")
+                and self.request_log is not None):
+            # Submissions log themselves with job context at finish.
+            client = req.get("client")
+            self.request_log.log(
+                str(op),
+                client=client if isinstance(client, str) else None,
+                latency_s=time.monotonic() - t_start)
         return False
 
     def _topology_msg(self) -> Dict[str, object]:
@@ -382,6 +417,37 @@ class GatewayService:
             "shards_total": len(self._shards),
         }
 
+    def _metrics_msg(self) -> Dict[str, object]:
+        """Gateway-side operational counters; per-shard dedup and queue
+        detail lives behind each shard's own ``metrics`` op."""
+        healthy = sum(1 for s in self._shards.values() if s.healthy)
+        return {
+            "type": "metrics",
+            "role": "gateway",
+            "protocol": PROTOCOL_VERSION,
+            "server": "repro-gateway",
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "points_streamed": self.points_streamed,
+            "requeued_total": self.requeued_total,
+            "jobs": self.registry.counts_by_state(),
+            "rates": {
+                "window_s": self._points_meter.window_s,
+                "points_per_s": round(self._points_meter.rate(), 4),
+            },
+            "shards_healthy": healthy,
+            "shards_total": len(self._shards),
+            "shards": [s.snapshot() for s in self._shards.values()],
+        }
+
+    def _log_job(self, job: Job, outcome: Optional[str] = None) -> None:
+        if self.request_log is None:
+            return
+        self.request_log.log(
+            job.kind, client=job.client, job=job.id,
+            points=job.total, sims=job.simulations, hits=job.hits,
+            coalesced=job.coalesced, latency_s=job.elapsed_s(),
+            outcome=outcome or job.state.value, error=job.error)
+
     async def _handle_cancel(self, req: Dict[str, object],
                              writer: asyncio.StreamWriter) -> None:
         job = self.registry.get(req.get("job"))
@@ -407,6 +473,7 @@ class GatewayService:
                           writer: asyncio.StreamWriter) -> None:
         """Fan a sweep/points job across the shards; stream the merge."""
         try:
+            client, explicit_priority = parse_submit_fields(req)
             if req["op"] == "points":
                 points: Sequence[SweepPoint] = request_to_points(req)
                 summary = ", ".join(sorted({p.workload for p in points}))
@@ -430,7 +497,13 @@ class GatewayService:
                                       "error": str(exc)})
             return
 
-        job = self.registry.create(str(req["op"]), summary=summary)
+        client = client or "anon"
+        # Classify by the *whole* submission so each shard applies the
+        # same scheduling class to its partition as a lone daemon would
+        # to the full job.
+        priority = classify_priority(explicit_priority, len(points))
+        job = self.registry.create(str(req["op"]), summary=summary,
+                                   client=client, priority=priority)
         job.total = len(points)
         await self._send(writer, {"type": "accepted", "job": job.id,
                                   "kind": job.kind, "points": job.total})
@@ -454,6 +527,17 @@ class GatewayService:
         except (ConnectionError, asyncio.CancelledError):
             job.finish(JobState.FAILED, "client disconnected")
             raise
+        except _ShardJobError as exc:
+            # Pass a shard's typed error (notably an `overloaded` shed)
+            # through with its fields so client-side retry still works.
+            job.finish(JobState.FAILED, str(exc))
+            msg: Dict[str, object] = {"type": "error", "job": job.id,
+                                      "error": str(exc)}
+            if exc.code is not None:
+                msg["code"] = exc.code
+            if exc.retry_after_s is not None:
+                msg["retry_after_s"] = exc.retry_after_s
+            await self._send(writer, msg)
         except Exception as exc:  # shard-reported simulation failure
             job.finish(JobState.FAILED, str(exc))
             await self._send(writer, {"type": "error", "job": job.id,
@@ -470,6 +554,7 @@ class GatewayService:
             for task in tasks:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
+            self._log_job(job)
 
     async def _run_merge(self, job: Job, points: Sequence[SweepPoint],
                          queue: "asyncio.Queue[Tuple[object, ...]]",
@@ -480,7 +565,7 @@ class GatewayService:
         global submission order, requeue a dead shard's leftovers."""
         indexed = list(enumerate(points))
         live_workers = self._spawn_workers(self._healthy_ring(), indexed,
-                                           queue, tasks)
+                                           queue, tasks, job)
         buffered: Dict[int, Dict[str, object]] = {}
         next_index = 0
         while live_workers > 0:
@@ -493,6 +578,7 @@ class GatewayService:
                     shard_msg = buffered.pop(next_index)
                     job.done += 1
                     self.points_streamed += 1
+                    self._points_meter.record(1)
                     await self._send(writer, {
                         "type": "result", "job": job.id,
                         "index": next_index, "done": job.done,
@@ -518,13 +604,18 @@ class GatewayService:
                 if remaining:
                     job.requeued += len(remaining)
                     self.requeued_total += len(remaining)
+                    self._shards[str(shard_id)].requeued += len(remaining)
                     # Survivors only: the ring over the still-healthy
                     # shards moves exactly the dead shard's keys.
                     live_workers += self._spawn_workers(
-                        self._healthy_ring(), remaining, queue, tasks)
+                        self._healthy_ring(), remaining, queue, tasks, job)
             else:  # "job-error"
-                _, shard_id, error = item
-                raise RuntimeError(f"shard {shard_id}: {error}")
+                _, shard_id, msg = item
+                raise _ShardJobError(
+                    str(shard_id),
+                    str(msg.get("error", "batch failed by shard")),  # type: ignore[union-attr]
+                    code=msg.get("code"),  # type: ignore[union-attr]
+                    retry_after_s=msg.get("retry_after_s"))  # type: ignore[union-attr]
         if next_index != job.total:
             raise RuntimeError(
                 f"merge lost points: streamed {next_index} of {job.total}")
@@ -532,7 +623,8 @@ class GatewayService:
     def _spawn_workers(self, ring: HashRing,
                        indexed: Sequence[Tuple[int, SweepPoint]],
                        queue: "asyncio.Queue[Tuple[object, ...]]",
-                       tasks: "set[asyncio.Task]") -> int:
+                       tasks: "set[asyncio.Task]",
+                       job: Job) -> int:
         """Partition ``indexed`` points by hashed traffic key and start
         one worker per non-empty shard batch; returns the worker count."""
         batches: Dict[str, List[Tuple[int, SweepPoint]]] = {}
@@ -541,7 +633,8 @@ class GatewayService:
             batches.setdefault(shard_id, []).append((index, point))
         for shard_id, batch in batches.items():
             task = asyncio.create_task(
-                self._shard_worker(self._shards[shard_id], batch, queue))
+                self._shard_worker(self._shards[shard_id], batch, queue,
+                                   job))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         return len(batches)
@@ -564,19 +657,24 @@ class GatewayService:
     async def _shard_worker(self, shard: ShardState,
                             batch: Sequence[Tuple[int, SweepPoint]],
                             queue: "asyncio.Queue[Tuple[object, ...]]",
-                            ) -> None:
+                            job: Job) -> None:
         """Run one shard's partition; terminal queue item is exactly one
         of ``done`` (stream finished), ``dead`` (shard failed — carries
         the unstreamed remainder for requeue) or ``job-error`` (the
         shard reported a deterministic failure)."""
         streamed = 0
         writer: Optional[asyncio.StreamWriter] = None
+        # Only tag partitions with tenant fields when the shard
+        # advertises v5; a mixed-version fabric keeps working untagged.
+        tagged = (shard.protocol or 0) >= 5
         try:
             try:
                 reader, writer = await asyncio.open_connection(
                     shard.host, shard.port, limit=MAX_LINE_BYTES)
-                writer.write(encode_message(
-                    points_request([p for _, p in batch])))
+                writer.write(encode_message(points_request(
+                    [p for _, p in batch],
+                    client=job.client if tagged else None,
+                    priority=job.priority if tagged else None)))
                 await writer.drain()
                 while True:
                     line = await asyncio.wait_for(reader.readline(),
@@ -597,10 +695,9 @@ class GatewayService:
                         await queue.put(("done", shard.id, msg))
                         return
                     elif kind in ("error", "cancelled"):
-                        await queue.put((
-                            "job-error", shard.id,
-                            str(msg.get("error",
-                                        f"batch {kind} by shard"))))
+                        if "error" not in msg:
+                            msg["error"] = f"batch {kind} by shard"
+                        await queue.put(("job-error", shard.id, msg))
                         return
                     # anything else (heartbeats, future fields): ignore
             except (OSError, asyncio.TimeoutError, ProtocolError,
@@ -667,6 +764,12 @@ class GatewayService:
         """
         workload = str(req.get("workload", ""))
         try:
+            client, _ = parse_submit_fields(req)
+        except ProtocolError as exc:
+            await self._send(writer, {"type": "error", "job": None,
+                                      "error": str(exc)})
+            return
+        try:
             shard_id = self._healthy_ring().assign(f"tune/{workload}")
         except _NoHealthyShards:
             await self._send(writer, {
@@ -675,7 +778,9 @@ class GatewayService:
                          "with 'repro serve'"})
             return
         shard = self._shards[shard_id]
-        job = self.registry.create("tune", summary=workload)
+        job = self.registry.create("tune", summary=workload,
+                                   client=client or "anon",
+                                   priority="bulk")
         shard_writer: Optional[asyncio.StreamWriter] = None
 
         def shard_died(exc: BaseException) -> Dict[str, object]:
@@ -729,6 +834,8 @@ class GatewayService:
                 job.finish(JobState.FAILED, "client disconnected")
             raise
         finally:
+            if job.finished_state:
+                self._log_job(job)
             if shard_writer is not None:
                 shard_writer.close()
                 try:

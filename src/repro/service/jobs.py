@@ -45,6 +45,8 @@ class Job:
     id: str
     kind: str                     # "simulate" | "sweep" | "tune"
     summary: str                  # short human description for listings
+    client: str = "anon"          # tenant tag (fair scheduling, req logs)
+    priority: str = "interactive"  # scheduling class: interactive | bulk
     state: JobState = JobState.PENDING
     total: int = 0                # points to stream (sweeps) / evals (tune)
     done: int = 0
@@ -81,6 +83,8 @@ class Job:
             "id": self.id,
             "kind": self.kind,
             "summary": self.summary,
+            "client": self.client,
+            "priority": self.priority,
             "state": self.state.value,
             "total": self.total,
             "done": self.done,
@@ -106,8 +110,11 @@ class JobRegistry:
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._ids = itertools.count(1)
 
-    def create(self, kind: str, summary: str) -> Job:
-        job = Job(id=f"j{next(self._ids)}", kind=kind, summary=summary)
+    def create(self, kind: str, summary: str,
+               client: str = "anon",
+               priority: str = "interactive") -> Job:
+        job = Job(id=f"j{next(self._ids)}", kind=kind, summary=summary,
+                  client=client, priority=priority)
         self._jobs[job.id] = job
         self._trim()
         return job

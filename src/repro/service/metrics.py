@@ -1,0 +1,60 @@
+"""Live service counters: windowed rate meters for the ``metrics`` op.
+
+The service tier's throughput claims (sims/s, points/s, analytic
+evals/s) are exported *from the serving loop* rather than reconstructed
+from job tables after the fact.  A :class:`RateMeter` is the primitive:
+an append-only event log pruned to a sliding window, so the reported
+rate is "events over the last ``window_s`` seconds" — not a lifetime
+average that flattens every burst.
+
+Meters are mutated only on the server's event loop (or under the
+caller's own synchronisation), so they carry no locks.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+#: Default sliding window for every exported rate.
+DEFAULT_WINDOW_S = 60.0
+
+
+class RateMeter:
+    """Sliding-window event-rate meter.
+
+    ``record(n)`` logs ``n`` events now; :meth:`rate` reports events per
+    second over the trailing window.  A meter younger than its window
+    divides by its uptime instead, so a daemon that simulated 4 points
+    in its first 2 seconds reports 2/s, not 4/60.
+    """
+
+    def __init__(self, window_s: float = DEFAULT_WINDOW_S,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.window_s = max(1e-3, float(window_s))
+        self._clock = clock
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._t0 = clock()
+        #: Lifetime event count (monotone; never pruned).
+        self.total = 0
+
+    def record(self, n: int = 1) -> None:
+        if n <= 0:
+            return
+        self.total += n
+        self._events.append((self._clock(), n))
+        self._prune()
+
+    def _prune(self) -> None:
+        cutoff = self._clock() - self.window_s
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+
+    def rate(self) -> float:
+        """Events per second over ``min(window_s, uptime)``."""
+        self._prune()
+        elapsed = self._clock() - self._t0
+        span = min(self.window_s, elapsed) if elapsed > 0 else self.window_s
+        return sum(n for _, n in self._events) / span

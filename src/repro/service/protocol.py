@@ -23,9 +23,20 @@ topology    fabric introspection: role (gateway/shard), shard table and
             health on a gateway, worker/store view on a shard
 jobs        snapshot of the server's job table (single response)
 stats       server / store / pool counters (single response)
+metrics     live observability counters (protocol v5): queue depth and
+            per-client lanes, dedup split (warm hits vs coalesced),
+            windowed sims/s / points/s / analytic-evals/s rates, store
+            hit rate; per-shard health and requeues on a gateway
 cancel      stop a running sweep job by id (single response)
 shutdown    acknowledge, then stop the server (single response)
 ========== =============================================================
+
+Submission ops optionally carry a ``client`` id (tenant tag for fair
+scheduling and request logs) and a ``priority`` (``interactive`` or
+``bulk``); both are omitted from the wire when unset, so a default
+submission stays byte-identical to protocol v4.  An overloaded server
+answers a submission with a typed ``error`` carrying
+``code="overloaded"`` and a ``retry_after_s`` backoff hint.
 
 Submission ops (``simulate``/``sweep``/``tune``) stream several
 responses on the same connection: ``accepted`` → ``result`` per point
@@ -56,8 +67,13 @@ from ..orchestrator.spec import SweepPoint, SweepSpec
 #: ping version before relying on it); v4 the ``points`` and
 #: ``topology`` ops plus the ``requeued`` field on sweep ``done``
 #: messages — the sharded-fabric surface (a gateway requires protocol
-#: >= 4 of its shards).
-PROTOCOL_VERSION = 4
+#: >= 4 of its shards); v5 the ``metrics`` op, optional
+#: ``client``/``priority`` submission fields, and typed ``overloaded``
+#: errors (``code`` + ``retry_after_s`` on ``error`` responses).
+PROTOCOL_VERSION = 5
+
+#: ``code`` value of a typed load-shedding error (protocol v5).
+ERROR_OVERLOADED = "overloaded"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -69,8 +85,8 @@ MAX_LINE_BYTES = 1 << 20
 #: Ops that stream multiple responses (job submissions).
 SUBMIT_OPS = ("simulate", "sweep", "points", "tune")
 #: Ops answered by exactly one response line.
-QUERY_OPS = ("ping", "predict", "topology", "jobs", "stats", "cancel",
-             "shutdown")
+QUERY_OPS = ("ping", "predict", "topology", "jobs", "stats", "metrics",
+             "cancel", "shutdown")
 KNOWN_OPS = SUBMIT_OPS + QUERY_OPS
 
 
@@ -135,11 +151,24 @@ def parse_request(line: "bytes | str") -> Dict[str, object]:
 # -- request builders (client side) --------------------------------------------
 
 
+def _submit_meta(req: Dict[str, object], client: Optional[str],
+                 priority: Optional[str]) -> Dict[str, object]:
+    """Attach the v5 tenant tags, wire-omitted when unset so a default
+    submission stays byte-identical to what a v4 client sends."""
+    if client is not None:
+        req["client"] = str(client)
+    if priority is not None:
+        req["priority"] = str(priority)
+    return req
+
+
 def sweep_request(workloads: Sequence[str],
                   configs: Optional[Sequence[str]] = None,
                   sram_mb: Sequence[float] = (),
                   bandwidth_gb: Sequence[float] = (),
                   cache_granularity: Optional[int] = None,
+                  client: Optional[str] = None,
+                  priority: Optional[str] = None,
                   ) -> Dict[str, object]:
     req: Dict[str, object] = {"op": "sweep", "workloads": list(workloads)}
     if configs is not None:
@@ -150,7 +179,7 @@ def sweep_request(workloads: Sequence[str],
         req["bandwidth_gb"] = [float(g) for g in bandwidth_gb]
     if cache_granularity is not None:
         req["cache_granularity"] = int(cache_granularity)
-    return req
+    return _submit_meta(req, client, priority)
 
 
 def tune_request(workload: str,
@@ -162,6 +191,7 @@ def tune_request(workload: str,
                  entries: Sequence[int] = (64,),
                  include_baselines: bool = False,
                  fidelity: str = "exact",
+                 client: Optional[str] = None,
                  ) -> Dict[str, object]:
     req: Dict[str, object] = {
         "op": "tune",
@@ -179,14 +209,20 @@ def tune_request(workload: str,
         req["fidelity"] = str(fidelity)
     if objectives is not None:
         req["objectives"] = list(objectives)
-    return req
+    return _submit_meta(req, client, None)
 
 
-def points_request(points: Sequence[SweepPoint]) -> Dict[str, object]:
+def points_request(points: Sequence[SweepPoint],
+                   client: Optional[str] = None,
+                   priority: Optional[str] = None) -> Dict[str, object]:
     """An explicit-point submission (protocol v4; the gateway's fan-out
     unit — shards receive the consistent-hash partition of a grid as a
-    point list, in the exact per-shard stream order)."""
-    return {"op": "points", "points": [p.to_wire() for p in points]}
+    point list, in the exact per-shard stream order).  The gateway
+    forwards the tenant's ``client``/``priority`` tags so shard-side
+    fair scheduling sees the originating tenant, not the gateway."""
+    req: Dict[str, object] = {"op": "points",
+                              "points": [p.to_wire() for p in points]}
+    return _submit_meta(req, client, priority)
 
 
 def predict_request(workload: str, config: str,
@@ -236,6 +272,30 @@ def _int_field(req: Mapping[str, object], field: str, default: int) -> int:
     if isinstance(raw, bool) or not isinstance(raw, int):
         raise ProtocolError(f"{field!r} must be an integer")
     return raw
+
+
+def parse_submit_fields(req: Mapping[str, object]
+                        ) -> "Tuple[Optional[str], Optional[str]]":
+    """Validate the optional v5 tenant tags on a submission request;
+    returns ``(client, priority)`` with ``None`` for absent fields.
+
+    Older clients never send either field, so absence must stay cheap
+    and error-free; presence with a wrong type or an unknown priority is
+    a protocol error like any other malformed field.
+    """
+    client = req.get("client")
+    if client is not None:
+        if not isinstance(client, str) or not client.strip():
+            raise ProtocolError("'client' must be a non-empty string")
+        if len(client) > 128:
+            raise ProtocolError("'client' must be at most 128 characters")
+        client = client.strip()
+    priority = req.get("priority")
+    if priority is not None and priority not in (
+            "interactive", "bulk"):
+        raise ProtocolError(
+            f"'priority' must be one of interactive/bulk, got {priority!r}")
+    return client, priority
 
 
 def parse_tune_fields(req: Mapping[str, object]) -> Dict[str, object]:

@@ -1,0 +1,71 @@
+"""Structured JSON request logging (``--log-json``).
+
+One JSON line per served request, written as it finishes: who asked
+(``client``), what (``op``), how much work it was (``points`` /
+``sims`` / ``hits`` / ``coalesced``), how long it took (``latency_s``)
+and how it ended (``outcome``: ``ok``, ``done``, ``failed``,
+``cancelled`` or ``shed``, plus ``error`` when there is one).  The
+format is grep/jq-friendly by construction — no multi-line records, no
+prose.
+
+Writes happen from the event loop *and* from CLI teardown paths, so a
+lock guards the stream; each record is flushed immediately (the log is
+an operational signal, not a buffer to lose in a crash).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Dict, Optional
+
+
+class RequestLog:
+    """Append-only JSON-lines request log over one text stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path: str) -> "RequestLog":
+        """``-`` logs to stderr; anything else appends to that file."""
+        if path == "-":
+            return cls(sys.stderr)
+        return cls(open(path, "a", encoding="utf-8"))
+
+    def log(self, op: str, *,
+            client: Optional[str] = None,
+            job: Optional[str] = None,
+            points: Optional[int] = None,
+            sims: Optional[int] = None,
+            hits: Optional[int] = None,
+            coalesced: Optional[int] = None,
+            latency_s: Optional[float] = None,
+            outcome: str = "ok",
+            error: Optional[str] = None) -> None:
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "client": client or "anon",
+            "op": op,
+        }
+        if job is not None:
+            record["job"] = job
+        for name, value in (("points", points), ("sims", sims),
+                            ("hits", hits), ("coalesced", coalesced)):
+            if value is not None:
+                record[name] = int(value)
+        if latency_s is not None:
+            record["latency_s"] = round(float(latency_s), 6)
+        record["outcome"] = outcome
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # a dead log stream must never take the service down

@@ -37,7 +37,7 @@ import asyncio
 import functools
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import runner
 from ..hw.config import MIB
@@ -46,18 +46,29 @@ from ..orchestrator.spec import SweepPoint
 from ..orchestrator.store import ResultStore
 from ..workloads.registry import all_workloads, is_resolvable, resolve_workload
 from .jobs import Job, JobRegistry, JobState
+from .metrics import DEFAULT_WINDOW_S, RateMeter
 from .protocol import (
     DEFAULT_HOST,
+    ERROR_OVERLOADED,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    SUBMIT_OPS,
     ProtocolError,
     default_port,
     encode_message,
     parse_predict_fields,
     parse_request,
+    parse_submit_fields,
     parse_tune_fields,
     request_to_points,
     request_to_spec,
+)
+from .reqlog import RequestLog
+from .scheduling import (
+    DEFAULT_BULK_THRESHOLD,
+    TUNE_SHED_FRACTION,
+    FairQueue,
+    classify_priority,
 )
 
 
@@ -90,7 +101,12 @@ class SimulationService:
                  batch_window_s: float = 0.02,
                  max_batch: int = 64,
                  keep_jobs: int = 256,
-                 tune_heartbeat_s: float = 10.0) -> None:
+                 tune_heartbeat_s: float = 10.0,
+                 quota: Optional[int] = None,
+                 weights: Optional[Mapping[str, int]] = None,
+                 bulk_threshold: int = DEFAULT_BULK_THRESHOLD,
+                 request_log: Optional[RequestLog] = None,
+                 metrics_window_s: float = DEFAULT_WINDOW_S) -> None:
         self.host = host
         self.port = default_port() if port is None else port
         self.cache_dir = cache_dir
@@ -99,15 +115,25 @@ class SimulationService:
         self.batch_window_s = max(0.0, batch_window_s)
         self.max_batch = max(1, max_batch)
         self.tune_heartbeat_s = max(0.1, tune_heartbeat_s)
+        self.quota = quota
+        self.weights = dict(weights or {})
+        self.bulk_threshold = max(0, bulk_threshold)
+        self.request_log = request_log
         self.pool = OrchestratorPool(jobs)
         self.registry = JobRegistry(keep=keep_jobs)
         self.store: Optional[ResultStore] = None
         self.startup_error: Optional[BaseException] = None
         self.points_streamed = 0
+        self.hits_total = 0
+        self.coalesced_total = 0
+        self.shed_total = 0
+        self._sims_meter = RateMeter(metrics_window_s)
+        self._points_meter = RateMeter(metrics_window_s)
+        self._analytic_meter = RateMeter(metrics_window_s)
         self._started = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
-        self._queue: Optional["asyncio.Queue[Tuple[str, SweepPoint]]"] = None
+        self._queue: Optional[FairQueue] = None
         #: Traffic keys with a simulation dispatched or queued, mapped to
         #: the future every interested job awaits (single-flight table).
         self._in_flight: Dict[str, "asyncio.Future[None]"] = {}
@@ -119,7 +145,8 @@ class SimulationService:
         """Serve until a ``shutdown`` op or :meth:`request_stop`."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._queue = FairQueue(self.max_pending, quota=self.quota,
+                                weights=self.weights)
         try:
             server = await asyncio.start_server(
                 self._handle_conn, self.host, self.port or 0,
@@ -239,6 +266,7 @@ class SimulationService:
                               writer: asyncio.StreamWriter) -> bool:
         """Serve one request; ``True`` closes the connection."""
         op = req["op"]
+        t_start = time.monotonic()
         if op == "ping":
             await self._send(writer, {"type": "pong",
                                       "server": "repro-service",
@@ -269,10 +297,19 @@ class SimulationService:
             assert self._stop is not None
             self._stop.set()
             return True
+        elif op == "metrics":
+            await self._send(writer, self._metrics_msg())
         elif op == "tune":
             await self._tune_job(req, writer)
         else:  # "simulate" / "sweep" / "points"
             await self._sweep_job(req, writer)
+        if op not in SUBMIT_OPS and self.request_log is not None:
+            # Submissions log themselves with job context at finish.
+            client = req.get("client")
+            self.request_log.log(
+                str(op),
+                client=client if isinstance(client, str) else None,
+                latency_s=time.monotonic() - t_start)
         return False
 
     def _topology_msg(self) -> Dict[str, object]:
@@ -337,6 +374,7 @@ class SimulationService:
             await self._send(writer, {"type": "error", "job": None,
                                       "error": str(exc)})
             return
+        self._analytic_meter.record(1)
         await self._send(writer, {
             "type": "predict",
             "workload": fields["workload"],
@@ -379,6 +417,7 @@ class SimulationService:
             "directory": str(self.store.directory),
             "schema_version": self.store.schema_version,
             "entries": len(self.store),
+            "corrupt": self.store.corrupt,
             "workloads": self.store.workload_counts(),
         }
 
@@ -392,10 +431,57 @@ class SimulationService:
             "jobs": self.registry.counts_by_state(),
             "points_streamed": self.points_streamed,
             "simulations": runner.simulation_count(),
+            "hits_total": self.hits_total,
+            "coalesced_total": self.coalesced_total,
+            "shed_total": self.shed_total,
             "queue_depth": self._queue.qsize(),
             "in_flight": len(self._in_flight),
             "pool": self.pool.snapshot(),
             "store": store_stats,
+        }
+
+    def _metrics_msg(self) -> Dict[str, object]:
+        """Cheap operational counters: everything here is in-memory —
+        no store rescan, no executor hop — so ``--watch`` polling does
+        not perturb the daemon it is observing."""
+        assert self._queue is not None
+        store: Optional[Dict[str, object]] = None
+        if self.store is not None:
+            lookups = self.store.hits + self.store.misses
+            store = {
+                "entries": len(self.store),
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "hit_rate": round(self.store.hits / lookups, 4)
+                if lookups else 0.0,
+                "corrupt": self.store.corrupt,
+                "stale": self.store.stale,
+                "duplicates": self.store.duplicates,
+            }
+        return {
+            "type": "metrics",
+            "role": "shard",
+            "protocol": PROTOCOL_VERSION,
+            "server": "repro-service",
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "queue_depth": self._queue.qsize(),
+            "max_pending": self.max_pending,
+            "queue_clients": self._queue.client_depths(),
+            "in_flight": len(self._in_flight),
+            "points_streamed": self.points_streamed,
+            "simulations": runner.simulation_count(),
+            "hits_total": self.hits_total,
+            "coalesced_total": self.coalesced_total,
+            "shed_total": self.shed_total,
+            "jobs": self.registry.counts_by_state(),
+            "rates": {
+                "window_s": self._sims_meter.window_s,
+                "sims_per_s": round(self._sims_meter.rate(), 4),
+                "points_per_s": round(self._points_meter.rate(), 4),
+                "analytic_evals_per_s":
+                    round(self._analytic_meter.rate(), 4),
+            },
+            "store": store,
         }
 
     # -- sweep jobs ------------------------------------------------------------
@@ -403,6 +489,7 @@ class SimulationService:
     async def _sweep_job(self, req: Dict[str, object],
                          writer: asyncio.StreamWriter) -> None:
         try:
+            client, explicit_priority = parse_submit_fields(req)
             if req["op"] == "points":
                 points: Sequence[SweepPoint] = request_to_points(req)
                 summary = ", ".join(sorted({p.workload for p in points}))
@@ -424,9 +511,22 @@ class SimulationService:
                                       "error": str(exc)})
             return
 
+        client = client or "anon"
+        priority = classify_priority(explicit_priority, len(points),
+                                     self.bulk_threshold)
         await self._sync_store(points)
-        job = self.registry.create(str(req["op"]), summary=summary)
+        job = self.registry.create(str(req["op"]), summary=summary,
+                                   client=client, priority=priority)
         job.total = len(points)
+        assert self._queue is not None
+        if priority == "bulk" and self._queue.free_slots(client) <= 0:
+            # Tiered shedding: bulk work is refused while the client has
+            # no free capacity at admission.  Interactive submissions are
+            # never shed — they block on the bounded queue like before.
+            await self._shed(job, writer,
+                             self._queue.overload_reason(client),
+                             self._queue.retry_after_s())
+            return
         await self._send(writer, {"type": "accepted", "job": job.id,
                                   "kind": job.kind, "points": job.total})
         job.state = JobState.RUNNING
@@ -458,6 +558,27 @@ class SimulationService:
                 "elapsed_s": round(job.elapsed_s(), 3)})
         finally:
             waiter.cancel()
+            self._log_job(job)
+
+    async def _shed(self, job: Job, writer: asyncio.StreamWriter,
+                    reason: str, retry_after_s: float) -> None:
+        """Refuse a submission with a typed ``overloaded`` error."""
+        self.shed_total += 1
+        error = f"overloaded: {reason}"
+        job.finish(JobState.FAILED, error)
+        self._log_job(job, outcome="shed")
+        await self._send(writer, {
+            "type": "error", "job": job.id, "code": ERROR_OVERLOADED,
+            "error": error, "retry_after_s": retry_after_s})
+
+    def _log_job(self, job: Job, outcome: Optional[str] = None) -> None:
+        if self.request_log is None:
+            return
+        self.request_log.log(
+            job.kind, client=job.client, job=job.id,
+            points=job.total, sims=job.simulations, hits=job.hits,
+            coalesced=job.coalesced, latency_s=job.elapsed_s(),
+            outcome=outcome or job.state.value, error=job.error)
 
     async def _sync_store(self, points: Sequence[SweepPoint]) -> None:
         """Store-shard sync: merge records other writers appended before
@@ -498,11 +619,13 @@ class SimulationService:
                 done.set_result(None)
                 futures[ks] = done
                 job.hits += 1
+                self.hits_total += 1
                 continue
             existing = self._in_flight.get(ks)
             if existing is not None:
                 futures[ks] = existing
                 job.coalesced += 1
+                self.coalesced_total += 1
                 continue
             if job.cancelled:
                 raise _JobCancelled
@@ -512,7 +635,8 @@ class SimulationService:
             # May block on the bounded queue; the entry is tiny and the
             # dispatcher always drains, so a cancel arriving mid-put only
             # stops *subsequent* enqueues (checked at loop top).
-            await self._queue.put((ks, p))
+            await self._queue.put((ks, p), client=job.client,
+                                  priority=job.priority)
             job.simulations += 1
 
     async def _stream_results(self, job: Job, points: Sequence[SweepPoint],
@@ -538,6 +662,7 @@ class SimulationService:
                 cache_granularity=p.cache_granularity)
             job.done = index + 1
             self.points_streamed += 1
+            self._points_meter.record(1)
             await self._send(writer, {
                 "type": "result", "job": job.id, "index": index,
                 "done": job.done, "total": job.total,
@@ -580,6 +705,8 @@ class SimulationService:
                 # leaks out of a batch must fail that batch, never the
                 # loop itself.
                 outcome = {ks: exc for ks, _ in batch}
+            self._sims_meter.record(
+                sum(1 for ks, _ in batch if outcome.get(ks) is None))
             for ks, _ in batch:
                 fut = self._in_flight.pop(ks, None)
                 if fut is None or fut.done():
@@ -634,6 +761,7 @@ class SimulationService:
         from ..tuner.pareto import DEFAULT_OBJECTIVES
 
         try:
+            client, _ = parse_submit_fields(req)
             fields = parse_tune_fields(req)
             workload = str(fields["workload"])
             if not is_resolvable(workload):
@@ -658,7 +786,21 @@ class SimulationService:
                                       "error": str(exc)})
             return
 
-        job = self.registry.create("tune", summary=workload)
+        client = client or "anon"
+        job = self.registry.create("tune", summary=workload,
+                                   client=client, priority="bulk")
+        assert self._queue is not None
+        shed_at = max(1, int(self.max_pending * TUNE_SHED_FRACTION))
+        if self._queue.qsize() >= shed_at:
+            # Lowest shedding tier: a tune search occupies a worker
+            # thread for its whole run, so it is refused well before the
+            # queue is full.
+            await self._shed(job, writer,
+                             f"queue at {self._queue.qsize()}/"
+                             f"{self.max_pending}; tune searches are "
+                             "shed first under load",
+                             self._queue.retry_after_s())
+            return
         await self._send(writer, {"type": "accepted", "job": job.id,
                                   "kind": "tune", "points": 0})
         job.state = JobState.RUNNING
@@ -684,10 +826,12 @@ class SimulationService:
             tune_result = search.result()
         except (ConnectionError, asyncio.CancelledError):
             job.finish(JobState.FAILED, "client disconnected")
+            self._log_job(job)
             search.add_done_callback(_consume_exception)
             raise
         except Exception as exc:  # search or simulation failure
             job.finish(JobState.FAILED, str(exc))
+            self._log_job(job)
             await self._send(writer, {"type": "error", "job": job.id,
                                       "error": str(exc)})
             return
@@ -697,6 +841,12 @@ class SimulationService:
         # the job table and the hits partition sane.
         job.simulations = min(tune_result.n_simulations, job.total)
         job.hits = job.total - job.simulations
+        # Tune simulations bypass the dispatcher (the search drives the
+        # pool directly), so meter them here; analytic evaluations are
+        # the search's model-only probes.
+        self._sims_meter.record(job.simulations)
+        self._analytic_meter.record(
+            int(getattr(tune_result, "n_analytic", 0)))
         try:
             try:
                 await self._send(writer,
@@ -709,10 +859,12 @@ class SimulationService:
                          f"({len(tune_result.evaluations)} evaluations): "
                          f"{exc}")
                 job.finish(JobState.FAILED, error)
+                self._log_job(job)
                 await self._send(writer, {"type": "error", "job": job.id,
                                           "error": error})
                 return
             job.finish(JobState.DONE)
+            self._log_job(job)
             await self._send(writer, {
                 "type": "done", "job": job.id, "points": job.total,
                 "simulations": job.simulations, "hits": job.hits,
@@ -721,4 +873,5 @@ class SimulationService:
             # Disconnect during delivery: never leave the job RUNNING.
             if not job.finished_state:
                 job.finish(JobState.FAILED, "client disconnected")
+                self._log_job(job)
             raise

@@ -77,14 +77,15 @@ class ShardProcess:
     """One ``repro serve`` daemon subprocess on an ephemeral port."""
 
     def __init__(self, cache_dir: str, jobs: int = 1,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 extra_args: Sequence[str] = ()) -> None:
         env = dict(os.environ)
         env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
         env["PYTHONUNBUFFERED"] = "1"
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", "--host", host,
              "--port", "0", "--jobs", str(jobs),
-             "--cache-dir", str(cache_dir)],
+             "--cache-dir", str(cache_dir), *extra_args],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env)
         self.host = host
@@ -361,6 +362,7 @@ class Fabric:
 
     def __init__(self, cache_dir: str, n_shards: int = 3,
                  plans: Optional[Dict[int, FaultPlan]] = None,
+                 shard_args: Sequence[str] = (),
                  **gateway_kwargs) -> None:
         self.cache_dir = str(cache_dir)
         self.shards: List[ShardProcess] = []
@@ -369,7 +371,7 @@ class Fabric:
         plans = plans or {}
         try:
             for i in range(n_shards):
-                shard = ShardProcess(self.cache_dir)
+                shard = ShardProcess(self.cache_dir, extra_args=shard_args)
                 self.shards.append(shard)
                 self.proxies.append(ChaosProxy(shard, plans.get(i)))
             self.gateway_thread = GatewayThread(

@@ -11,6 +11,7 @@ import dataclasses
 
 from repro.analysis.service_report import (
     render_jobs,
+    render_metrics,
     render_service_stats,
     render_topology,
     summarize_sweep_outcome,
@@ -99,6 +100,16 @@ class TestServiceStats:
         assert "7 entries" in out and "cg/fv1/N=1" in out
         assert "75% answered without simulating" in out
 
+    def test_v5_stats_split_warm_hits_from_coalesced(self):
+        # A v5 daemon reports the dedup sources separately; the
+        # aggregate-ratio line is the pre-v5 fallback only.
+        out = render_service_stats({
+            "uptime_s": 10.0, "points_streamed": 20, "simulations": 5,
+            "hits_total": 9, "coalesced_total": 6, "shed_total": 2,
+        })
+        assert "9 warm hit(s), 6 coalesced, 2 shed" in out
+        assert "answered without simulating" not in out
+
 
 class TestTopologyRendering:
     def test_gateway_stats_render_routing_counters(self):
@@ -134,6 +145,69 @@ class TestTopologyRendering:
         assert "gateway over 2 shard(s), 1 healthy" in out
         assert "DOWN" in out and "unreachable: refused" in out
         assert "64 virtual node(s)" in out
+
+
+class TestMetricsRendering:
+    def test_shard_metrics_render_every_operational_counter(self):
+        out = render_metrics({
+            "role": "shard", "protocol": 5, "uptime_s": 12.5,
+            "jobs": {"done": 3}, "points_streamed": 40,
+            "simulations": 10, "hits_total": 20, "coalesced_total": 8,
+            "shed_total": 2, "queue_depth": 3, "max_pending": 64,
+            "in_flight": 5,
+            "queue_clients": {"alice": 2, "bob": 1},
+            "rates": {"window_s": 60.0, "sims_per_s": 1.25,
+                      "points_per_s": 5.0, "analytic_evals_per_s": 0.0},
+            "store": {"entries": 10, "hits": 20, "misses": 10,
+                      "hit_rate": 0.6667, "corrupt": 0, "stale": 0,
+                      "duplicates": 2},
+        })
+        assert "Metrics: shard (protocol v5" in out
+        assert "sims/s:          1.25 (over 60 s)" in out
+        assert "warm hits:       20" in out
+        assert "coalesced:       8" in out
+        assert "shed:            2" in out
+        assert "queue depth:     3/64 (+5 in flight)" in out
+        assert "alice" in out and "2 queued" in out
+        assert "store hit rate:  66.67% (20 hits / 10 misses)" in out
+        assert "2 duplicates" in out
+        assert "check disk" not in out  # corrupt == 0: no scare line
+
+    def test_shard_metrics_flag_corrupt_store_records(self):
+        out = render_metrics({
+            "role": "shard", "protocol": 5, "uptime_s": 1.0,
+            "rates": {}, "queue_clients": {},
+            "store": {"entries": 1, "hits": 0, "misses": 1,
+                      "hit_rate": 0.0, "corrupt": 3, "stale": 0,
+                      "duplicates": 0},
+        })
+        assert "3 corrupt" in out
+        assert "corrupt records growing; check disk" in out
+
+    def test_shard_metrics_without_a_store(self):
+        out = render_metrics({"role": "shard", "protocol": 5,
+                              "uptime_s": 0.0, "rates": {},
+                              "queue_clients": {}, "store": None})
+        assert "store:           disabled" in out
+
+    def test_gateway_metrics_render_shard_health_table(self):
+        out = render_metrics({
+            "role": "gateway", "protocol": 5, "uptime_s": 30.0,
+            "jobs": {"done": 1, "running": 1}, "points_streamed": 100,
+            "requeued_total": 7, "shards_healthy": 2, "shards_total": 3,
+            "rates": {"window_s": 60.0, "points_per_s": 3.5},
+            "shards": [
+                {"id": "127.0.0.1:8643", "healthy": True, "deaths": 0,
+                 "requeued": 0, "error": None},
+                {"id": "127.0.0.1:8644", "healthy": False, "deaths": 2,
+                 "requeued": 7, "error": "unreachable: refused"},
+            ],
+        })
+        assert "Metrics: gateway (protocol v5" in out
+        assert "points/s:        3.5 (over 60 s)" in out
+        assert "requeued total:  7" in out
+        assert "shards healthy:  2/3" in out
+        assert "DOWN" in out and "unreachable: refused" in out
 
 
 class TestSweepOutcome:

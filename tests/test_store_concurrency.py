@@ -153,6 +153,48 @@ class TestLoadSemantics:
         assert store.reload() == 0
         assert store.get(make_key("mem", 0)) is not None
 
+    def test_corrupt_lines_are_counted_and_warned_once(self, tmp_path,
+                                                       capsys):
+        store = ResultStore(tmp_path / "store")
+        store.put(make_key("ok", 0), make_result("ok", 0))
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"v": 3, "key": [truncated mid-wri\n')
+
+        fresh = ResultStore(tmp_path / "store")
+        captured = capsys.readouterr()
+        assert fresh.corrupt == 1
+        assert len(fresh) == 1  # intact records survive the bad line
+        assert fresh.get(make_key("ok", 0)) is not None
+        assert "1 corrupt (undecodable) record(s)" in captured.err
+        assert "+1 corrupt" in fresh.describe()
+
+        # A reload that finds nothing new must not warn again (the
+        # counter is a health signal, not a nag)...
+        fresh.reload()
+        assert capsys.readouterr().err == ""
+        # ...but growth warns once more: corruption while running means
+        # the disk or a writer is sick *now*.
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("\xff\xfe not json either\n")
+        fresh.reload()
+        assert fresh.corrupt == 2
+        assert "2 corrupt" in capsys.readouterr().err
+
+    def test_clear_resets_the_corrupt_counter(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "store")
+        store.put(make_key("ok", 0), make_result("ok", 0))
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+        fresh = ResultStore(tmp_path / "store")
+        assert fresh.corrupt == 1
+        fresh.clear()
+        capsys.readouterr()
+        assert fresh.corrupt == 0
+        # And a clean file loads clean again.
+        again = ResultStore(tmp_path / "store")
+        assert again.corrupt == 0 and len(again) == 0
+        assert capsys.readouterr().err == ""
+
     def test_describe_reports_per_workload_counts(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         for i in range(3):

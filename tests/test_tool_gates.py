@@ -11,6 +11,8 @@ import importlib.util
 import json
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -143,6 +145,24 @@ class TestBenchGate:
         problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
         assert any("missing from" in p for p in problems)
 
+    def test_fresh_only_bench_fails_without_allow_new(self):
+        cb = _tool("check_bench")
+        fresh = self._fresh()
+        fresh["results"]["brand_new"] = {"things_per_s": 1e6}
+        problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0)
+        assert any("brand_new" in p and "--allow-new" in p
+                   for p in problems)
+
+    def test_allow_new_downgrades_fresh_only_bench_to_a_note(
+            self, capsys):
+        cb = _tool("check_bench")
+        fresh = self._fresh()
+        fresh["results"]["brand_new"] = {"things_per_s": 1e6}
+        problems = cb.compare(self.BASE, fresh, 10.0, 1.5, 100.0,
+                              allow_new=True)
+        assert problems == []
+        assert "brand_new" in capsys.readouterr().out
+
     def test_committed_baseline_carries_the_analytic_bench(self):
         baseline = json.loads(
             (REPO_ROOT / "BENCH_kernels.json").read_text())
@@ -187,6 +207,77 @@ class TestAnalyticBench:
         assert "analytic eval" in out and "1000x" in out
 
 
+class TestBenchTrend:
+    """The drift detector over committed bench history
+    (``tools/bench_trend.py``) — the gate ``check_bench``'s generous
+    10x factor cannot provide."""
+
+    @staticmethod
+    def _report(rate):
+        return {"results": {"kernel": {"ops_per_s": rate,
+                                       "seconds": 1.0}}}
+
+    def _files(self, tmp_path, rates):
+        paths = []
+        for i, rate in enumerate(rates):
+            path = tmp_path / f"bench_{i}.json"
+            path.write_text(json.dumps(self._report(rate)))
+            paths.append(str(path))
+        return paths
+
+    def test_steady_history_passes(self, tmp_path, capsys):
+        bt = _tool("bench_trend")
+        files = self._files(tmp_path, [100.0, 101.0, 99.0, 100.5])
+        assert bt.main(["--files", *files]) == 0
+        assert "bench trend ok" in capsys.readouterr().out
+
+    def test_compounding_decline_fails(self, tmp_path, capsys):
+        bt = _tool("bench_trend")
+        # 20% per snapshot: each step passes check_bench's 10x factor,
+        # only the trend fit can see it.
+        files = self._files(tmp_path, [100.0, 80.0, 64.0, 51.2])
+        assert bt.main(["--files", *files]) == 1
+        err = capsys.readouterr().err
+        assert "kernel.ops_per_s" in err and "declining" in err
+
+    def test_fresh_report_can_tip_the_verdict(self, tmp_path):
+        bt = _tool("bench_trend")
+        files = self._files(tmp_path, [100.0, 100.0, 100.0])
+        steady = str(tmp_path / "steady.json")
+        Path(steady).write_text(json.dumps(self._report(99.0)))
+        cliff = str(tmp_path / "cliff.json")
+        Path(cliff).write_text(json.dumps(self._report(30.0)))
+        assert bt.main(["--files", *files, "--fresh", steady]) == 0
+        assert bt.main(["--files", *files, "--fresh", cliff]) == 1
+
+    def test_insufficient_history_is_a_pass(self, tmp_path, capsys):
+        bt = _tool("bench_trend")
+        files = self._files(tmp_path, [100.0, 50.0])  # huge drop, n=2
+        assert bt.main(["--files", *files]) == 0
+        assert "insufficient history" in capsys.readouterr().out
+
+    def test_window_ignores_ancient_decline(self, tmp_path):
+        bt = _tool("bench_trend")
+        # Old decline, recent plateau: a window-3 fit sees the plateau.
+        files = self._files(tmp_path,
+                            [400.0, 200.0, 100.0, 100.0, 100.0])
+        assert bt.main(["--files", *files, "--window", "3"]) == 0
+        assert bt.main(["--files", *files, "--window", "5"]) == 1
+
+    def test_fit_slope_matches_a_clean_geometric_series(self):
+        bt = _tool("bench_trend")
+        import math
+
+        slope = bt.fit_slope([100.0, 90.0, 81.0, 72.9])
+        assert slope == pytest.approx(math.log(0.9))
+
+    def test_git_mode_reads_the_committed_baseline(self, capsys):
+        bt = _tool("bench_trend")
+        reports = bt.git_history_reports("BENCH_kernels.json", 50)
+        assert reports, "no committed bench history found"
+        assert all("results" in r for r in reports)
+
+
 class TestCiWiring:
     """The workflow file must keep invoking the gates (a gate nobody
     calls protects nothing)."""
@@ -200,3 +291,10 @@ class TestCiWiring:
         assert "--fidelity hybrid" in ci
         assert "within 2% bound" in ci
         assert "fidelity: hybrid" in ci
+
+    def test_ci_runs_the_observability_smoke(self):
+        ci = (REPO_ROOT / ".github/workflows/ci.yml").read_text()
+        assert "metrics-smoke:" in ci
+        assert "repro metrics" in ci or "-m repro metrics" in ci
+        assert "tools/bench_trend.py" in ci
+        assert "fetch-depth: 0" in ci

@@ -11,6 +11,9 @@ ride along:
 
 * every benchmark present in the baseline must still exist in the fresh
   report (a silently dropped bench would otherwise pass forever);
+* every benchmark present only in the fresh report fails the gate
+  unless ``--allow-new`` is passed — a new bench must be added to the
+  committed baseline deliberately, not slip past the gate unbaselined;
 * the vectorised cache kernels must still beat the scalar reference
   (``speedup`` stays above ``--min-speedup``, default 1.5 — they are
   15-19x at parity today);
@@ -27,7 +30,8 @@ Usage::
 
     python tools/check_bench.py --baseline BENCH_kernels.json \
         --fresh BENCH_fresh.json [--factor 10] [--min-speedup 1.5] \
-        [--min-analytic-speedup 100] [--min-batch-speedup 50]
+        [--min-analytic-speedup 100] [--min-batch-speedup 50] \
+        [--allow-new]
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -54,10 +58,24 @@ def load_report(path: str) -> Dict:
 def compare(baseline: Dict, fresh: Dict, factor: float,
             min_speedup: float,
             min_analytic_speedup: float = 100.0,
-            min_batch_speedup: float = 50.0) -> List[str]:
+            min_batch_speedup: float = 50.0,
+            allow_new: bool = False) -> List[str]:
     problems: List[str] = []
     base_results = baseline["results"]
     fresh_results = fresh["results"]
+    for name in sorted(set(fresh_results) - set(base_results)):
+        # A fresh-only bench used to pass silently: nothing compared it,
+        # so a typo'd rename (old name "missing", new name "new") or an
+        # unbaselined bench never got a baseline at all.
+        if allow_new:
+            print(f"note: {name}: new benchmark not in the baseline "
+                  "(allowed by --allow-new; baseline it with "
+                  "'repro bench')")
+        else:
+            problems.append(
+                f"{name}: present in the fresh report but not in the "
+                "baseline — re-run 'repro bench' to baseline it, or pass "
+                "--allow-new")
     for name, base in sorted(base_results.items()):
         got = fresh_results.get(name)
         if got is None:
@@ -125,6 +143,9 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=50.0,
                         help="required batch-vs-point-wise analytic "
                              "evaluation speedup (default 50)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="report benchmarks missing from the baseline "
+                             "as notes instead of failures")
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
         parser.error("--factor must be > 1")
@@ -132,7 +153,8 @@ def main(argv: List[str] | None = None) -> int:
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
     problems = compare(baseline, fresh, args.factor, args.min_speedup,
-                       args.min_analytic_speedup, args.min_batch_speedup)
+                       args.min_analytic_speedup, args.min_batch_speedup,
+                       allow_new=args.allow_new)
     if problems:
         print(f"bench regression vs {args.baseline} "
               f"(factor {args.factor:g}):", file=sys.stderr)
