@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 from ..hw.config import GB, MIB
+from ..service.metrics import HistogramFamily
 from .report import render_table
 
 
@@ -117,6 +118,26 @@ def _render_gateway_stats(stats: Mapping[str, object]) -> str:
     ])
 
 
+def _histogram_percentile_lines(snapshot: object, label: str,
+                                header: str) -> List[str]:
+    """p50/p90/p99 lines for one dimension of a histogram snapshot;
+    empty when the endpoint is pre-v6 or nothing has been observed."""
+    if not isinstance(snapshot, Mapping) or not snapshot.get("series"):
+        return []
+    try:
+        merged = HistogramFamily.merged_by(snapshot, label)
+    except (ValueError, KeyError):
+        return []
+    lines = [header]
+    for name in sorted(merged):
+        hist = merged[name]
+        lines.append(
+            f"    {name:16s} p50 {hist.quantile(0.5):.4f}  "
+            f"p90 {hist.quantile(0.9):.4f}  "
+            f"p99 {hist.quantile(0.99):.4f}  ({hist.count} observed)")
+    return lines
+
+
 def render_metrics(msg: Mapping[str, object]) -> str:
     """The ``repro metrics`` report for either endpoint role.
 
@@ -144,6 +165,8 @@ def render_metrics(msg: Mapping[str, object]) -> str:
             f"  shards healthy:  {msg.get('shards_healthy', 0)}/"
             f"{msg.get('shards_total', 0)}",
         ]
+        lines += _histogram_percentile_lines(
+            msg.get("latency"), "op", "  latency by op (seconds):")
         shards = [dict(s) for s in msg.get("shards", [])]  # type: ignore[union-attr]
         rows = [[
             str(s.get("id", "?")),
@@ -175,6 +198,10 @@ def render_metrics(msg: Mapping[str, object]) -> str:
     ]
     for client, depth in queue_clients.items():
         lines.append(f"    {client:30s} {depth} queued")
+    lines += _histogram_percentile_lines(
+        msg.get("latency"), "op", "  latency by op (seconds):")
+    lines += _histogram_percentile_lines(
+        msg.get("phases"), "phase", "  phase timings (seconds):")
     if store is None:
         lines.append("  store:           disabled")
     else:

@@ -559,6 +559,16 @@ def _serve_main(argv: List[str]) -> int:
         help="write one JSON line per served request to PATH "
              "(default stderr)",
     )
+    parser.add_argument(
+        "--prom-port", type=int, default=None, metavar="N",
+        help="serve Prometheus text-format metrics on this port "
+             "(GET /metrics; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--phase-profile", action="store_true",
+        help="time trace-gen / cache-kernel / CHORD-accounting phases "
+             "per simulation and fold them into the metrics histograms",
+    )
     args = parser.parse_args(argv)
 
     weights = {}
@@ -587,6 +597,8 @@ def _serve_main(argv: List[str]) -> int:
         weights=weights,
         bulk_threshold=args.bulk_threshold,
         request_log=_open_request_log(args.log_json),
+        prom_port=args.prom_port,
+        phase_profile=args.phase_profile,
     )
     try:
         asyncio.run(service.run(announce=print))
@@ -641,6 +653,11 @@ def _gateway_main(argv: List[str]) -> int:
         help="write one JSON line per served request to PATH "
              "(default stderr)",
     )
+    parser.add_argument(
+        "--prom-port", type=int, default=None, metavar="N",
+        help="serve Prometheus text-format metrics on this port "
+             "(GET /metrics; 0 picks a free port)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -658,6 +675,7 @@ def _gateway_main(argv: List[str]) -> int:
         ping_timeout_s=args.ping_timeout,
         shard_read_timeout_s=args.shard_read_timeout,
         request_log=_open_request_log(args.log_json),
+        prom_port=args.prom_port,
     )
     try:
         asyncio.run(gateway.run(announce=print))
@@ -744,6 +762,12 @@ def _submit_main(argv: List[str]) -> int:
         help="scheduling class; default: by size against the server's "
              "bulk threshold",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="mint a trace id for the submission (protocol v6): every "
+             "hop it takes through the fabric logs the same trace_id, "
+             "printed at the end for grepping the request logs",
+    )
     args = parser.parse_args(argv)
 
     if args.tune is None and args.workloads is None:
@@ -761,7 +785,8 @@ def _submit_main(argv: List[str]) -> int:
 
     try:
         with ServiceClient(host=args.host, port=args.port,
-                           client_id=args.client) as client:
+                           client_id=args.client,
+                           trace=args.trace) as client:
             if args.tune is not None:
                 from .analysis.tuner_report import render_tune_result
                 from .tuner import TuneResult
@@ -778,6 +803,8 @@ def _submit_main(argv: List[str]) -> int:
                     fidelity=args.fidelity,
                 )
                 print(render_tune_result(TuneResult.from_dict(data)))
+                if client.last_trace_id is not None:
+                    print(f"trace id: {client.last_trace_id}")
                 return 0
             outcome = client.submit_sweep(
                 workloads=[w for w in args.workloads.split(",")
@@ -799,6 +826,8 @@ def _submit_main(argv: List[str]) -> int:
         title=f"Sweep job {outcome.job_id}: {len(outcome.points)} points",
     ))
     print(summarize_sweep_outcome(outcome))
+    if outcome.trace_id is not None:
+        print(f"trace id: {outcome.trace_id}")
     return 0
 
 
@@ -861,18 +890,25 @@ def _metrics_main(argv: List[str]) -> int:
     import time
 
     from .analysis.service_report import render_metrics
-    from .service import ServiceClient, ServiceError
+    from .service import (
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+        render_prometheus,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro metrics",
         description="Show a running daemon's or gateway's operational "
                     "counters: queue depth, dedup split, windowed "
-                    "throughput rates, store hit rate, per-shard health.",
+                    "throughput rates, latency percentiles, store hit "
+                    "rate, per-shard health.",
     )
     _add_service_addr_args(parser)
     parser.add_argument(
         "--watch", action="store_true",
-        help="poll and re-render until interrupted",
+        help="poll and re-render until interrupted (survives daemon "
+             "restarts: reconnects and keeps polling)",
     )
     parser.add_argument(
         "--interval", type=float, default=2.0, metavar="S",
@@ -882,27 +918,56 @@ def _metrics_main(argv: List[str]) -> int:
         "--json", action="store_true",
         help="print the raw metrics message instead of the report",
     )
+    parser.add_argument(
+        "--prom", action="store_true",
+        help="print the metrics in Prometheus text exposition format "
+             "(same body a --prom-port scrape returns)",
+    )
     args = parser.parse_args(argv)
 
     def render_once(client: "ServiceClient") -> None:
         msg = client.metrics()
-        if args.json:
+        if args.prom:
+            sys.stdout.write(render_prometheus(msg))
+            sys.stdout.flush()
+        elif args.json:
             print(json_mod.dumps(msg, indent=2, sort_keys=True))
         else:
             print(render_metrics(msg))
 
+    def connect() -> "ServiceClient":
+        return ServiceClient(host=args.host, port=args.port)
+
+    client: "ServiceClient | None" = None
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
-            render_once(client)
-            while args.watch:
-                time.sleep(max(0.1, args.interval))
-                print()
+        # The first poll is strict: if nothing answers, fail like any
+        # one-shot query would.
+        client = connect()
+        render_once(client)
+        while args.watch:
+            time.sleep(max(0.1, args.interval))
+            print()
+            try:
+                if client is None:
+                    client = connect()
                 render_once(client)
+            except (ServiceConnectionError, ServiceError) as exc:
+                # Mid-watch death or restart: surface the role-aware
+                # diagnosis (what to restart, what survives) once per
+                # failed poll and keep polling — the daemon coming back
+                # resumes the watch without user action.
+                print(f"[watch] {exc}", file=sys.stderr)
+                if client is not None:
+                    client.close()
+                    client = None
     except ServiceError as exc:
         print(f"metrics query failed: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         pass
+    finally:
+        if client is not None:
+            client.close()
     return 0
 
 

@@ -30,14 +30,23 @@ import os
 import pickle
 import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import runner
 from ..baselines.configs import run_config
 from ..hw.config import AcceleratorConfig
+from ..sim import engine as sim_engine
 from ..sim.results import SimResult
 from ..workloads.registry import Workload, is_resolvable, resolve_workload
 from .spec import SweepPoint, SweepSpec
+
+#: When set (the daemon's ``--phase-profile`` exports it before forking
+#: the pool), workers time the engine phases per payload and ship the
+#: timings back alongside the encoded result; :func:`prewarm` replays
+#: them into the parent's installed phase hook.  Phase data crosses the
+#: process boundary this way because a worker's in-process hook dies
+#: with the worker.
+PHASE_PROFILE_ENV = "REPRO_PHASE_PROFILE"
 
 #: Payload shipped to a worker: everything needed to rebuild + simulate.
 _Payload = Tuple[str, str, AcceleratorConfig, Optional[int]]
@@ -213,15 +222,41 @@ def _simulate_payload(payload: _Payload) -> Dict[str, object]:
     """Worker entry point: resolve, build, simulate, encode.
 
     Module-level (picklable) by construction; runs in the worker process.
+    With :data:`PHASE_PROFILE_ENV` set the per-payload phase timings ride
+    back wrapped as ``{"__phases__": ..., "result": ...}`` — the shape
+    (not the parent's env) decides unwrapping, so a flag flipped after
+    the fork can never desynchronise the two processes.
     """
     name, config, cfg, granularity = payload
     workload = resolve_workload(name)
-    result = run_config(
-        config, workload.build(), cfg,
-        workload_name=workload.name,
-        cache_granularity=granularity,
-    )
+    phases: Optional[Dict[str, float]] = None
+    if os.environ.get(PHASE_PROFILE_ENV):
+        sink: Dict[str, float] = {}
+        phases = sink
+        sim_engine.set_phase_hook(
+            lambda phase, dt: sink.__setitem__(
+                phase, sink.get(phase, 0.0) + dt))
+    try:
+        result = run_config(
+            config, workload.build(), cfg,
+            workload_name=workload.name,
+            cache_granularity=granularity,
+        )
+    finally:
+        if phases is not None:
+            sim_engine.set_phase_hook(None)
+    if phases is not None:
+        return {"__phases__": phases, "result": result.to_dict()}
     return result.to_dict()
+
+
+def _replay_phases(phases: Mapping[str, float]) -> None:
+    """Feed a worker's shipped phase timings to the parent's hook."""
+    hook = sim_engine.get_phase_hook()
+    if hook is None:
+        return
+    for phase, seconds in phases.items():
+        hook(phase, float(seconds))
 
 
 def _resolvable(points: Iterable[SweepPoint]) -> List[SweepPoint]:
@@ -267,6 +302,9 @@ def prewarm(points: Sequence[SweepPoint], jobs: Optional[int] = None,
     if encoded is not None:
         runner.count_simulations(len(todo))
         for point, data in zip(todo, encoded):
+            if "__phases__" in data:
+                _replay_phases(data["__phases__"])  # type: ignore[arg-type]
+                data = data["result"]  # type: ignore[assignment]
             runner.seed_cache(point.key(), SimResult.from_dict(data))
         return len(todo)
 

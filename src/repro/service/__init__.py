@@ -19,7 +19,13 @@ a long-lived server instead:
 * :class:`~repro.service.client.ServiceClient` — blocking client used by
   ``repro submit`` / ``repro jobs`` (a gateway and a lone daemon are
   indistinguishable to it);
-* :mod:`~repro.service.jobs` — job lifecycle records.
+* :mod:`~repro.service.jobs` — job lifecycle records;
+* :mod:`~repro.service.tracing` — trace/span ids propagated through
+  every fabric hop (protocol v6) and stamped into request logs;
+* :mod:`~repro.service.metrics` — rate meters and log-bucketed latency
+  histograms behind the ``metrics`` op;
+* :mod:`~repro.service.promexport` — Prometheus text-format rendering
+  of the metrics snapshot, served by ``--prom-port``.
 
 Quickstart::
 
@@ -43,8 +49,9 @@ from .client import (
 )
 from .gateway import GatewayService, ShardState, parse_shard_addrs
 from .hashing import DEFAULT_REPLICAS, EmptyRing, HashRing, stable_hash
-from .jobs import Job, JobRegistry, JobState
-from .metrics import RateMeter
+from .jobs import Job, JobRegistry, JobState, workload_family
+from .metrics import DEFAULT_BUCKETS, Histogram, HistogramFamily, RateMeter
+from .promexport import PROM_CONTENT_TYPE, PromExporter, render_prometheus
 from .protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -57,8 +64,10 @@ from .protocol import (
 from .reqlog import RequestLog
 from .scheduling import FairQueue, classify_priority
 from .server import SimulationService
+from .tracing import SpanContext, attach_trace, parse_trace_fields
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_REPLICAS",
@@ -67,14 +76,18 @@ __all__ = [
     "FairQueue",
     "GatewayService",
     "HashRing",
+    "Histogram",
+    "HistogramFamily",
     "Job",
     "JobFailed",
     "JobRegistry",
     "JobState",
     "MAX_LINE_BYTES",
     "Overloaded",
+    "PROM_CONTENT_TYPE",
     "PROTOCOL_VERSION",
     "PointResult",
+    "PromExporter",
     "ProtocolError",
     "RateMeter",
     "RequestLog",
@@ -83,9 +96,14 @@ __all__ = [
     "ServiceError",
     "ShardState",
     "SimulationService",
+    "SpanContext",
     "SweepOutcome",
+    "attach_trace",
     "classify_priority",
     "default_port",
     "parse_shard_addrs",
+    "parse_trace_fields",
+    "render_prometheus",
     "stable_hash",
+    "workload_family",
 ]

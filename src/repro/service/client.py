@@ -29,6 +29,7 @@ from .protocol import (
     sweep_request,
     tune_request,
 )
+from .tracing import SpanContext, attach_trace
 
 
 class ServiceError(RuntimeError):
@@ -87,6 +88,9 @@ class SweepOutcome:
     elapsed_s: float
     #: Points re-hashed off a dead shard (always 0 on a single daemon).
     requeued: int = 0
+    #: Trace id the fabric stamped on its request logs (tracing clients
+    #: only; ``None`` when the submission was untraced or pre-v6).
+    trace_id: Optional[str] = None
 
 
 class ServiceClient:
@@ -101,12 +105,19 @@ class ServiceClient:
     def __init__(self, host: str = DEFAULT_HOST,
                  port: Optional[int] = None,
                  timeout: float = 600.0,
-                 client_id: Optional[str] = None) -> None:
+                 client_id: Optional[str] = None,
+                 trace: bool = False) -> None:
         self.host = host
         self.port = default_port() if port is None else port
         #: Tenant tag attached to every submission (fair scheduling,
         #: per-client quotas, request logs); ``None`` submits as "anon".
         self.client_id = client_id
+        #: Mint a root span per request (protocol v6): every hop the
+        #: request takes through the fabric logs the same trace id.
+        self.trace = trace
+        #: Trace id of the most recent traced request — what to grep the
+        #: fabric's request logs for.
+        self.last_trace_id: Optional[str] = None
         try:
             self._sock = socket.create_connection((self.host, self.port),
                                                   timeout=timeout)
@@ -196,12 +207,28 @@ class ServiceClient:
             "with 'repro serve' for a daemon, 'repro gateway' for a "
             "gateway, if it is down)")
 
+    def _traced(self, req: Mapping[str, object]) -> Mapping[str, object]:
+        """Stamp a fresh root span onto ``req`` when tracing is on.
+
+        One logical request = one trace: overload retries reuse the
+        request dict, so every shed-and-resubmit cycle shows up under a
+        single trace id in the request logs.
+        """
+        if not self.trace:
+            return req
+        span = SpanContext.new_root()
+        self.last_trace_id = span.trace_id
+        out = dict(req)
+        attach_trace(out, span)
+        return out
+
     def request(self, msg: Mapping[str, object]) -> Dict[str, object]:
         """Send one single-response op; raise on an ``error`` reply."""
         if self.client_id is not None and "client" not in msg:
             # Tag query ops too, so the server's request log attributes
             # them; servers of any version ignore unknown fields.
             msg = {**msg, "client": self.client_id}
+        msg = self._traced(msg)
         self._send(msg)
         reply = self._recv()
         if reply.get("type") == "error":
@@ -297,8 +324,8 @@ class ServiceClient:
                             bandwidth_gb=bandwidth_gb,
                             cache_granularity=cache_granularity,
                             client=self.client_id, priority=priority)
-        return self._submit_with_retry(req, on_message, overload_retries,
-                                       on_retry)
+        return self._submit_with_retry(self._traced(req), on_message,
+                                       overload_retries, on_retry)
 
     def submit_points(self, points: Sequence[SweepPoint],
                       on_message: Optional[
@@ -316,8 +343,8 @@ class ServiceClient:
         """
         req = points_request(points, client=self.client_id,
                              priority=priority)
-        return self._submit_with_retry(req, on_message, overload_retries,
-                                       on_retry)
+        return self._submit_with_retry(self._traced(req), on_message,
+                                       overload_retries, on_retry)
 
     def _submit_with_retry(self, req: Mapping[str, object],
                            on_message: Optional[
@@ -388,6 +415,7 @@ class ServiceClient:
                     coalesced=int(msg["coalesced"]),  # type: ignore[arg-type]
                     elapsed_s=float(msg["elapsed_s"]),  # type: ignore[arg-type]
                     requeued=int(msg.get("requeued", 0)),  # type: ignore[arg-type]
+                    trace_id=msg.get("trace_id"),  # type: ignore[arg-type]
                 )
         raise ServiceError("stream ended without a terminal message")
 
@@ -421,11 +449,11 @@ class ServiceClient:
                     f"silently ignore fidelity={fidelity!r} and simulate "
                     f"every point — restart the daemon with this build or "
                     f"drop --fidelity")
-        req = tune_request(workload, strategy=strategy, budget=budget,
-                           seed=seed, objectives=objectives, sram_mb=sram_mb,
-                           entries=entries,
-                           include_baselines=include_baselines,
-                           fidelity=fidelity, client=self.client_id)
+        req = self._traced(tune_request(
+            workload, strategy=strategy, budget=budget,
+            seed=seed, objectives=objectives, sram_mb=sram_mb,
+            entries=entries, include_baselines=include_baselines,
+            fidelity=fidelity, client=self.client_id))
         job_id: Optional[str] = None
         tune_result: Optional[Dict[str, object]] = None
         for msg in self._stream(req, on_message):

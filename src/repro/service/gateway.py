@@ -50,8 +50,9 @@ from ..orchestrator.spec import SweepPoint
 from ..orchestrator.store import ResultStore
 from ..workloads.registry import all_workloads, is_resolvable
 from .hashing import DEFAULT_REPLICAS, EmptyRing, HashRing
-from .jobs import Job, JobRegistry, JobState
-from .metrics import DEFAULT_WINDOW_S, RateMeter
+from .jobs import Job, JobRegistry, JobState, workload_family
+from .metrics import DEFAULT_WINDOW_S, HistogramFamily, RateMeter
+from .promexport import PromExporter
 from .protocol import (
     DEFAULT_HOST,
     MAX_LINE_BYTES,
@@ -67,6 +68,7 @@ from .protocol import (
 )
 from .reqlog import RequestLog
 from .scheduling import classify_priority
+from .tracing import SpanContext, attach_trace, parse_trace_fields
 
 
 class _JobCancelled(Exception):
@@ -167,7 +169,8 @@ class GatewayService:
                  shard_read_timeout_s: float = 600.0,
                  keep_jobs: int = 256,
                  request_log: Optional[RequestLog] = None,
-                 metrics_window_s: float = DEFAULT_WINDOW_S) -> None:
+                 metrics_window_s: float = DEFAULT_WINDOW_S,
+                 prom_port: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.replicas = max(1, replicas)
@@ -179,7 +182,10 @@ class GatewayService:
         self.startup_error: Optional[BaseException] = None
         self.points_streamed = 0
         self.requeued_total = 0
+        self.prom_port = prom_port
         self._points_meter = RateMeter(metrics_window_s)
+        self._latency = HistogramFamily(("op", "family", "priority"))
+        self._prom: Optional[PromExporter] = None
         self._shards: "Dict[str, ShardState]" = {}
         for shard_host, shard_port in shards:
             state = ShardState(id=f"{shard_host}:{shard_port}",
@@ -215,12 +221,27 @@ class GatewayService:
             *(self._check_shard(s) for s in self._shards.values()))
         health = asyncio.create_task(self._health_loop())
         self._t0 = time.monotonic()
+        if self.prom_port is not None:
+            try:
+                self._prom = PromExporter(self.metrics_snapshot,
+                                          host=self.host,
+                                          port=self.prom_port)
+                self.prom_port = self._prom.start()
+            except OSError as exc:
+                self.startup_error = exc
+                self._started.set()
+                server.close()
+                health.cancel()
+                await asyncio.gather(health, return_exceptions=True)
+                raise
         self._started.set()
         if announce is not None:
             healthy = sum(1 for s in self._shards.values() if s.healthy)
+            prom_desc = (f", prometheus: :{self.prom_port}/metrics"
+                         if self._prom is not None else "")
             announce(f"repro gateway listening on {self.host}:{self.port} "
                      f"(shards: {healthy}/{len(self._shards)} healthy, "
-                     f"ring replicas: {self.replicas})")
+                     f"ring replicas: {self.replicas}{prom_desc})")
         try:
             await self._stop.wait()
         finally:
@@ -229,6 +250,9 @@ class GatewayService:
             server.close()
             health.cancel()
             await asyncio.gather(health, return_exceptions=True)
+            if self._prom is not None:
+                await self._loop.run_in_executor(None, self._prom.stop)
+                self._prom = None
 
     def wait_started(self, timeout: Optional[float] = None) -> bool:
         """Block (from another thread) until the gateway accepts
@@ -381,15 +405,29 @@ class GatewayService:
             await self._forward_tune(req, writer)
         else:  # "simulate" / "sweep" / "points"
             await self._merged_job(req, writer)
-        if (op not in ("simulate", "sweep", "points", "tune")
-                and self.request_log is not None):
+        if op not in ("simulate", "sweep", "points", "tune"):
             # Submissions log themselves with job context at finish.
-            client = req.get("client")
-            self.request_log.log(
-                str(op),
-                client=client if isinstance(client, str) else None,
-                latency_s=time.monotonic() - t_start)
+            elapsed = time.monotonic() - t_start
+            self._latency.observe((str(op), "-", "-"), elapsed)
+            if self.request_log is not None:
+                client = req.get("client")
+                self.request_log.log(
+                    str(op),
+                    client=client if isinstance(client, str) else None,
+                    trace=self._query_trace(req),
+                    duration_s=elapsed)
         return False
+
+    def _query_trace(self, req: Dict[str, object]
+                     ) -> Optional[Dict[str, str]]:
+        """Span fields for a query op's log record (queries answered by
+        the gateway itself are leaf hops).  Malformed trace fields never
+        fail an already-answered request — they just go unlogged."""
+        try:
+            caller = parse_trace_fields(req)
+        except ProtocolError:
+            return None
+        return caller.child().log_fields() if caller is not None else None
 
     def _topology_msg(self) -> Dict[str, object]:
         return {
@@ -434,18 +472,36 @@ class GatewayService:
                 "window_s": self._points_meter.window_s,
                 "points_per_s": round(self._points_meter.rate(), 4),
             },
+            "latency": self._latency.snapshot(),
             "shards_healthy": healthy,
             "shards_total": len(self._shards),
             "shards": [s.snapshot() for s in self._shards.values()],
         }
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Thread-safe :meth:`_metrics_msg` for the Prometheus exporter:
+        hops onto the event loop so scrape threads never read loop-owned
+        state (registry, shard table) mid-mutation."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("gateway not running")
+
+        async def _snap() -> Dict[str, object]:
+            return self._metrics_msg()
+
+        return asyncio.run_coroutine_threadsafe(_snap(), loop).result(
+            timeout=10)
+
     def _log_job(self, job: Job, outcome: Optional[str] = None) -> None:
+        self._latency.observe((job.kind, job.family, job.priority),
+                              job.elapsed_s())
         if self.request_log is None:
             return
         self.request_log.log(
             job.kind, client=job.client, job=job.id,
+            trace=job.span.log_fields() if job.span is not None else None,
             points=job.total, sims=job.simulations, hits=job.hits,
-            coalesced=job.coalesced, latency_s=job.elapsed_s(),
+            coalesced=job.coalesced, duration_s=job.elapsed_s(),
             outcome=outcome or job.state.value, error=job.error)
 
     async def _handle_cancel(self, req: Dict[str, object],
@@ -474,6 +530,7 @@ class GatewayService:
         """Fan a sweep/points job across the shards; stream the merge."""
         try:
             client, explicit_priority = parse_submit_fields(req)
+            caller_span = parse_trace_fields(req)
             if req["op"] == "points":
                 points: Sequence[SweepPoint] = request_to_points(req)
                 summary = ", ".join(sorted({p.workload for p in points}))
@@ -505,8 +562,15 @@ class GatewayService:
         job = self.registry.create(str(req["op"]), summary=summary,
                                    client=client, priority=priority)
         job.total = len(points)
-        await self._send(writer, {"type": "accepted", "job": job.id,
-                                  "kind": job.kind, "points": job.total})
+        job.family = workload_family(p.workload for p in points)
+        if caller_span is not None:
+            job.span = caller_span.child()
+        accepted: Dict[str, object] = {"type": "accepted", "job": job.id,
+                                       "kind": job.kind,
+                                       "points": job.total}
+        if job.span is not None:
+            accepted["trace_id"] = job.span.trace_id
+        await self._send(writer, accepted)
         job.state = JobState.RUNNING
         waiter = asyncio.ensure_future(job.cancel_event.wait())
         queue: "asyncio.Queue[Tuple[object, ...]]" = asyncio.Queue()
@@ -544,11 +608,14 @@ class GatewayService:
                                       "error": str(exc)})
         else:
             job.finish(JobState.DONE)
-            await self._send(writer, {
+            done_msg: Dict[str, object] = {
                 "type": "done", "job": job.id, "points": job.total,
                 "simulations": job.simulations, "hits": job.hits,
                 "coalesced": job.coalesced, "requeued": job.requeued,
-                "elapsed_s": round(job.elapsed_s(), 3)})
+                "elapsed_s": round(job.elapsed_s(), 3)}
+            if job.span is not None:
+                done_msg["trace_id"] = job.span.trace_id
+            await self._send(writer, done_msg)
         finally:
             waiter.cancel()
             for task in tasks:
@@ -605,10 +672,22 @@ class GatewayService:
                     job.requeued += len(remaining)
                     self.requeued_total += len(remaining)
                     self._shards[str(shard_id)].requeued += len(remaining)
+                    # The failover gets its own span (parent: the gateway
+                    # job span) so a trace grep shows the requeue hop and
+                    # every respawned partition hangs under it.
+                    requeue_span = (job.span.child()
+                                    if job.span is not None else None)
+                    if requeue_span is not None and self.request_log:
+                        self.request_log.log(
+                            "requeue", client=job.client, job=job.id,
+                            trace=requeue_span.log_fields(),
+                            points=len(remaining),
+                            error=f"shard {shard_id}: {reason}")
                     # Survivors only: the ring over the still-healthy
                     # shards moves exactly the dead shard's keys.
                     live_workers += self._spawn_workers(
-                        self._healthy_ring(), remaining, queue, tasks, job)
+                        self._healthy_ring(), remaining, queue, tasks, job,
+                        span=requeue_span)
             else:  # "job-error"
                 _, shard_id, msg = item
                 raise _ShardJobError(
@@ -624,9 +703,17 @@ class GatewayService:
                        indexed: Sequence[Tuple[int, SweepPoint]],
                        queue: "asyncio.Queue[Tuple[object, ...]]",
                        tasks: "set[asyncio.Task]",
-                       job: Job) -> int:
+                       job: Job,
+                       span: Optional[SpanContext] = None) -> int:
         """Partition ``indexed`` points by hashed traffic key and start
-        one worker per non-empty shard batch; returns the worker count."""
+        one worker per non-empty shard batch; returns the worker count.
+
+        ``span`` is the span the partitions are sent under — the job
+        span for the first fan-out, a requeue span on failover (``None``
+        falls back to the job span).
+        """
+        if span is None:
+            span = job.span
         batches: Dict[str, List[Tuple[int, SweepPoint]]] = {}
         for index, point in indexed:
             shard_id = ring.assign(ResultStore.key_str(point.key()))
@@ -634,7 +721,7 @@ class GatewayService:
         for shard_id, batch in batches.items():
             task = asyncio.create_task(
                 self._shard_worker(self._shards[shard_id], batch, queue,
-                                   job))
+                                   job, span))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         return len(batches)
@@ -657,7 +744,8 @@ class GatewayService:
     async def _shard_worker(self, shard: ShardState,
                             batch: Sequence[Tuple[int, SweepPoint]],
                             queue: "asyncio.Queue[Tuple[object, ...]]",
-                            job: Job) -> None:
+                            job: Job,
+                            span: Optional[SpanContext] = None) -> None:
         """Run one shard's partition; terminal queue item is exactly one
         of ``done`` (stream finished), ``dead`` (shard failed — carries
         the unstreamed remainder for requeue) or ``job-error`` (the
@@ -665,16 +753,21 @@ class GatewayService:
         streamed = 0
         writer: Optional[asyncio.StreamWriter] = None
         # Only tag partitions with tenant fields when the shard
-        # advertises v5; a mixed-version fabric keeps working untagged.
+        # advertises v5, and with trace fields when it advertises v6; a
+        # mixed-version fabric keeps working untagged.
         tagged = (shard.protocol or 0) >= 5
+        traced = (shard.protocol or 0) >= 6
         try:
             try:
                 reader, writer = await asyncio.open_connection(
                     shard.host, shard.port, limit=MAX_LINE_BYTES)
-                writer.write(encode_message(points_request(
+                partition = points_request(
                     [p for _, p in batch],
                     client=job.client if tagged else None,
-                    priority=job.priority if tagged else None)))
+                    priority=job.priority if tagged else None)
+                if traced:
+                    attach_trace(partition, span)
+                writer.write(encode_message(partition))
                 await writer.drain()
                 while True:
                     line = await asyncio.wait_for(reader.readline(),
@@ -765,6 +858,7 @@ class GatewayService:
         workload = str(req.get("workload", ""))
         try:
             client, _ = parse_submit_fields(req)
+            caller_span = parse_trace_fields(req)
         except ProtocolError as exc:
             await self._send(writer, {"type": "error", "job": None,
                                       "error": str(exc)})
@@ -781,6 +875,17 @@ class GatewayService:
         job = self.registry.create("tune", summary=workload,
                                    client=client or "anon",
                                    priority="bulk")
+        job.family = workload_family([workload])
+        if caller_span is not None:
+            job.span = caller_span.child()
+        # The shard must parent its span to the *gateway's* span, not the
+        # client's, so the hop tree nests client → gateway → shard.
+        # Pre-v6 shards get the trace fields stripped instead.
+        req = dict(req)
+        req.pop("trace_id", None)
+        req.pop("span_id", None)
+        if (shard.protocol or 0) >= 6:
+            attach_trace(req, job.span)
         shard_writer: Optional[asyncio.StreamWriter] = None
 
         def shard_died(exc: BaseException) -> Dict[str, object]:

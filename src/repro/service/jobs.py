@@ -22,7 +22,21 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from .tracing import SpanContext
+
+
+def workload_family(workloads: Iterable[str]) -> str:
+    """Label value for per-family latency histograms: the shared first
+    path segment of the job's workload names (``cg/fv1/N=16`` → ``cg``),
+    ``multi`` for mixed-family jobs, ``-`` for none.  Families keep the
+    label space bounded — full workload names are unbounded (every N is
+    a new name) and would explode a histogram per point."""
+    families = sorted({name.split("/", 1)[0] for name in workloads})
+    if not families:
+        return "-"
+    return families[0] if len(families) == 1 else "multi"
 
 
 class JobState(str, Enum):
@@ -54,6 +68,8 @@ class Job:
     hits: int = 0
     coalesced: int = 0
     requeued: int = 0             # points re-hashed off a dead shard (gateway)
+    family: str = "-"             # workload family label for latency metrics
+    span: Optional[SpanContext] = None  # this node's span (traced requests)
     error: Optional[str] = None
     created: float = field(default_factory=time.monotonic)
     finished: Optional[float] = None
@@ -79,7 +95,7 @@ class Job:
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe view for the ``jobs`` op and progress messages."""
-        return {
+        snap: Dict[str, object] = {
             "id": self.id,
             "kind": self.kind,
             "summary": self.summary,
@@ -95,6 +111,11 @@ class Job:
             "elapsed_s": round(self.elapsed_s(), 3),
             "error": self.error,
         }
+        if self.span is not None:
+            # Only traced jobs carry the field — untagged clients keep
+            # seeing the exact pre-v6 snapshot shape.
+            snap["trace_id"] = self.span.trace_id
+        return snap
 
 
 class JobRegistry:

@@ -38,6 +38,14 @@ submission stays byte-identical to protocol v4.  An overloaded server
 answers a submission with a typed ``error`` carrying
 ``code="overloaded"`` and a ``retry_after_s`` backoff hint.
 
+Protocol v6 adds two more optional submission fields, ``trace_id`` and
+``span_id`` (see :mod:`repro.service.tracing`): the sender's span,
+propagated client → gateway → shard so request-log records across the
+fabric share one trace.  Like every optional tag before them they are
+omitted when unset — untraced v5 traffic stays byte-identical on the
+wire — and a traced ``accepted``/``done`` response echoes ``trace_id``
+so clients can surface it.
+
 Submission ops (``simulate``/``sweep``/``tune``) stream several
 responses on the same connection: ``accepted`` → ``result`` per point
 (sweeps) or ``tune-result`` (tunes) → ``done``; a failed job ends with
@@ -69,8 +77,12 @@ from ..orchestrator.spec import SweepPoint, SweepSpec
 #: messages — the sharded-fabric surface (a gateway requires protocol
 #: >= 4 of its shards); v5 the ``metrics`` op, optional
 #: ``client``/``priority`` submission fields, and typed ``overloaded``
-#: errors (``code`` + ``retry_after_s`` on ``error`` responses).
-PROTOCOL_VERSION = 5
+#: errors (``code`` + ``retry_after_s`` on ``error`` responses); v6
+#: optional ``trace_id``/``span_id`` submission fields (distributed
+#: tracing — a gateway only forwards them to shards that ping >= 6),
+#: the ``latency`` histogram block on ``metrics`` responses, and
+#: ``trace_id`` echoed on traced ``accepted``/``done`` messages.
+PROTOCOL_VERSION = 6
 
 #: ``code`` value of a typed load-shedding error (protocol v5).
 ERROR_OVERLOADED = "overloaded"

@@ -35,18 +35,21 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import os
 import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import runner
 from ..hw.config import MIB
-from ..orchestrator.parallel import OrchestratorPool, prewarm, set_shared_pool
+from ..orchestrator.parallel import (PHASE_PROFILE_ENV, OrchestratorPool,
+                                     prewarm, set_shared_pool)
 from ..orchestrator.spec import SweepPoint
 from ..orchestrator.store import ResultStore
+from ..sim import engine as sim_engine
 from ..workloads.registry import all_workloads, is_resolvable, resolve_workload
-from .jobs import Job, JobRegistry, JobState
-from .metrics import DEFAULT_WINDOW_S, RateMeter
+from .jobs import Job, JobRegistry, JobState, workload_family
+from .metrics import DEFAULT_WINDOW_S, HistogramFamily, RateMeter
 from .protocol import (
     DEFAULT_HOST,
     ERROR_OVERLOADED,
@@ -63,7 +66,9 @@ from .protocol import (
     request_to_points,
     request_to_spec,
 )
+from .promexport import PromExporter
 from .reqlog import RequestLog
+from .tracing import parse_trace_fields
 from .scheduling import (
     DEFAULT_BULK_THRESHOLD,
     TUNE_SHED_FRACTION,
@@ -106,7 +111,9 @@ class SimulationService:
                  weights: Optional[Mapping[str, int]] = None,
                  bulk_threshold: int = DEFAULT_BULK_THRESHOLD,
                  request_log: Optional[RequestLog] = None,
-                 metrics_window_s: float = DEFAULT_WINDOW_S) -> None:
+                 metrics_window_s: float = DEFAULT_WINDOW_S,
+                 prom_port: Optional[int] = None,
+                 phase_profile: bool = False) -> None:
         self.host = host
         self.port = default_port() if port is None else port
         self.cache_dir = cache_dir
@@ -127,9 +134,14 @@ class SimulationService:
         self.hits_total = 0
         self.coalesced_total = 0
         self.shed_total = 0
+        self.prom_port = prom_port
+        self.phase_profile = phase_profile
         self._sims_meter = RateMeter(metrics_window_s)
         self._points_meter = RateMeter(metrics_window_s)
         self._analytic_meter = RateMeter(metrics_window_s)
+        self._latency = HistogramFamily(("op", "family", "priority"))
+        self._phases = HistogramFamily(("phase",))
+        self._prom: Optional[PromExporter] = None
         self._started = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -159,19 +171,41 @@ class SimulationService:
         self.store = ResultStore(self.cache_dir) if self.use_store else None
         runner.set_store(self.store)
         set_shared_pool(self.pool)
+        if self.phase_profile:
+            # Env before fork: workers inherit the flag and ship their
+            # phase timings back; the hook folds them (and every
+            # in-process engine run) into the phase histograms.
+            os.environ[PHASE_PROFILE_ENV] = "1"
+            sim_engine.set_phase_hook(self._observe_phase)
         if self.pool.jobs > 1:
             # Fork the workers before accepting work; a sandbox without
             # pool support degrades here, once, to all-serial batches.
             await self._loop.run_in_executor(None, self.pool.warm)
         dispatcher = asyncio.create_task(self._dispatch_loop())
         self._t0 = time.monotonic()
+        if self.prom_port is not None:
+            try:
+                self._prom = PromExporter(self.metrics_snapshot,
+                                          host=self.host,
+                                          port=self.prom_port)
+                self.prom_port = self._prom.start()
+            except OSError as exc:
+                self.startup_error = exc
+                self._started.set()
+                server.close()
+                dispatcher.cancel()
+                await asyncio.gather(dispatcher, return_exceptions=True)
+                raise
         self._started.set()
         if announce is not None:
             width = self.pool.jobs if not self.pool.broken else 1
             store_desc = (str(self.store.directory) if self.store is not None
                           else "disabled")
+            prom_desc = (f", prometheus: :{self.prom_port}/metrics"
+                         if self._prom is not None else "")
             announce(f"repro service listening on {self.host}:{self.port} "
-                     f"(pool: {width} worker(s), store: {store_desc})")
+                     f"(pool: {width} worker(s), store: {store_desc}"
+                     f"{prom_desc})")
         try:
             await self._stop.wait()
         finally:
@@ -184,6 +218,12 @@ class SimulationService:
             dispatcher.cancel()
             await asyncio.gather(dispatcher, return_exceptions=True)
             self._fail_pending("service shut down")
+            if self._prom is not None:
+                await self._loop.run_in_executor(None, self._prom.stop)
+                self._prom = None
+            if self.phase_profile:
+                sim_engine.set_phase_hook(None)
+                os.environ.pop(PHASE_PROFILE_ENV, None)
             if self.store is not None:
                 self.store.save_stats()
             runner.set_store(None)
@@ -303,14 +343,30 @@ class SimulationService:
             await self._tune_job(req, writer)
         else:  # "simulate" / "sweep" / "points"
             await self._sweep_job(req, writer)
-        if op not in SUBMIT_OPS and self.request_log is not None:
+        if op not in SUBMIT_OPS:
             # Submissions log themselves with job context at finish.
-            client = req.get("client")
-            self.request_log.log(
-                str(op),
-                client=client if isinstance(client, str) else None,
-                latency_s=time.monotonic() - t_start)
+            elapsed = time.monotonic() - t_start
+            self._latency.observe((str(op), "-", "-"), elapsed)
+            if self.request_log is not None:
+                client = req.get("client")
+                self.request_log.log(
+                    str(op),
+                    client=client if isinstance(client, str) else None,
+                    trace=self._query_trace(req),
+                    duration_s=elapsed)
         return False
+
+    def _query_trace(self, req: Mapping[str, object]
+                     ) -> Optional[Dict[str, str]]:
+        """Span fields for a query op's log record: queries are leaf
+        hops, so the node span is minted here and never forwarded.
+        Malformed trace fields on a query never fail the (already
+        answered) request — they just go unlogged."""
+        try:
+            caller = parse_trace_fields(req)
+        except ProtocolError:
+            return None
+        return caller.child().log_fields() if caller is not None else None
 
     def _topology_msg(self) -> Dict[str, object]:
         """This node's view of itself for the ``topology`` op: a plain
@@ -481,8 +537,29 @@ class SimulationService:
                 "analytic_evals_per_s":
                     round(self._analytic_meter.rate(), 4),
             },
+            "latency": self._latency.snapshot(),
+            "phases": self._phases.snapshot(),
             "store": store,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Thread-safe :meth:`_metrics_msg` for the Prometheus exporter:
+        hops onto the event loop so scrape threads never read loop-owned
+        state (queue, registry) mid-mutation."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("service not running")
+
+        async def _snap() -> Dict[str, object]:
+            return self._metrics_msg()
+
+        return asyncio.run_coroutine_threadsafe(_snap(), loop).result(
+            timeout=10)
+
+    def _observe_phase(self, phase: str, seconds: float) -> None:
+        """Engine phase hook (``--phase-profile``): called in-process by
+        the engines and replayed from pool-worker payloads."""
+        self._phases.observe((phase,), seconds)
 
     # -- sweep jobs ------------------------------------------------------------
 
@@ -490,6 +567,7 @@ class SimulationService:
                          writer: asyncio.StreamWriter) -> None:
         try:
             client, explicit_priority = parse_submit_fields(req)
+            caller_span = parse_trace_fields(req)
             if req["op"] == "points":
                 points: Sequence[SweepPoint] = request_to_points(req)
                 summary = ", ".join(sorted({p.workload for p in points}))
@@ -518,6 +596,9 @@ class SimulationService:
         job = self.registry.create(str(req["op"]), summary=summary,
                                    client=client, priority=priority)
         job.total = len(points)
+        job.family = workload_family(p.workload for p in points)
+        if caller_span is not None:
+            job.span = caller_span.child()
         assert self._queue is not None
         if priority == "bulk" and self._queue.free_slots(client) <= 0:
             # Tiered shedding: bulk work is refused while the client has
@@ -527,8 +608,12 @@ class SimulationService:
                              self._queue.overload_reason(client),
                              self._queue.retry_after_s())
             return
-        await self._send(writer, {"type": "accepted", "job": job.id,
-                                  "kind": job.kind, "points": job.total})
+        accepted: Dict[str, object] = {"type": "accepted", "job": job.id,
+                                       "kind": job.kind,
+                                       "points": job.total}
+        if job.span is not None:
+            accepted["trace_id"] = job.span.trace_id
+        await self._send(writer, accepted)
         job.state = JobState.RUNNING
         waiter = asyncio.ensure_future(job.cancel_event.wait())
         futures: Dict[str, asyncio.Future] = {}
@@ -551,11 +636,14 @@ class SimulationService:
                                       "error": str(exc)})
         else:
             job.finish(JobState.DONE)
-            await self._send(writer, {
+            done_msg: Dict[str, object] = {
                 "type": "done", "job": job.id, "points": job.total,
                 "simulations": job.simulations, "hits": job.hits,
                 "coalesced": job.coalesced,
-                "elapsed_s": round(job.elapsed_s(), 3)})
+                "elapsed_s": round(job.elapsed_s(), 3)}
+            if job.span is not None:
+                done_msg["trace_id"] = job.span.trace_id
+            await self._send(writer, done_msg)
         finally:
             waiter.cancel()
             self._log_job(job)
@@ -572,13 +660,21 @@ class SimulationService:
             "error": error, "retry_after_s": retry_after_s})
 
     def _log_job(self, job: Job, outcome: Optional[str] = None) -> None:
+        final = outcome or job.state.value
+        if final != "shed":
+            # Shed jobs are refused at admission in microseconds; folding
+            # them into the serve histogram would drag p50 down during
+            # exactly the overload storms the histogram should expose.
+            self._latency.observe((job.kind, job.family, job.priority),
+                                  job.elapsed_s())
         if self.request_log is None:
             return
         self.request_log.log(
             job.kind, client=job.client, job=job.id,
+            trace=job.span.log_fields() if job.span is not None else None,
             points=job.total, sims=job.simulations, hits=job.hits,
-            coalesced=job.coalesced, latency_s=job.elapsed_s(),
-            outcome=outcome or job.state.value, error=job.error)
+            coalesced=job.coalesced, duration_s=job.elapsed_s(),
+            outcome=final, error=job.error)
 
     async def _sync_store(self, points: Sequence[SweepPoint]) -> None:
         """Store-shard sync: merge records other writers appended before
@@ -762,6 +858,7 @@ class SimulationService:
 
         try:
             client, _ = parse_submit_fields(req)
+            caller_span = parse_trace_fields(req)
             fields = parse_tune_fields(req)
             workload = str(fields["workload"])
             if not is_resolvable(workload):
@@ -789,6 +886,9 @@ class SimulationService:
         client = client or "anon"
         job = self.registry.create("tune", summary=workload,
                                    client=client, priority="bulk")
+        job.family = workload_family([workload])
+        if caller_span is not None:
+            job.span = caller_span.child()
         assert self._queue is not None
         shed_at = max(1, int(self.max_pending * TUNE_SHED_FRACTION))
         if self._queue.qsize() >= shed_at:
@@ -801,8 +901,12 @@ class SimulationService:
                              "shed first under load",
                              self._queue.retry_after_s())
             return
-        await self._send(writer, {"type": "accepted", "job": job.id,
-                                  "kind": "tune", "points": 0})
+        tune_accepted: Dict[str, object] = {"type": "accepted",
+                                            "job": job.id,
+                                            "kind": "tune", "points": 0}
+        if job.span is not None:
+            tune_accepted["trace_id"] = job.span.trace_id
+        await self._send(writer, tune_accepted)
         job.state = JobState.RUNNING
         # The search runs on a worker thread; prewarm() inside the tuner
         # picks up the resident pool via the shared-pool hook.  While it
@@ -865,10 +969,13 @@ class SimulationService:
                 return
             job.finish(JobState.DONE)
             self._log_job(job)
-            await self._send(writer, {
+            tune_done: Dict[str, object] = {
                 "type": "done", "job": job.id, "points": job.total,
                 "simulations": job.simulations, "hits": job.hits,
-                "coalesced": 0, "elapsed_s": round(job.elapsed_s(), 3)})
+                "coalesced": 0, "elapsed_s": round(job.elapsed_s(), 3)}
+            if job.span is not None:
+                tune_done["trace_id"] = job.span.trace_id
+            await self._send(writer, tune_done)
         except (ConnectionError, asyncio.CancelledError):
             # Disconnect during delivery: never leave the job RUNNING.
             if not job.finished_state:

@@ -11,8 +11,9 @@ model, so every Table IV configuration is directly comparable.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, Iterable, Optional, Set
 
 from ..buffers.cache import ReplacementPolicy, SetAssociativeCache
 from ..chord.buffer import ChordBuffer
@@ -25,6 +26,44 @@ from .dram import DramChannel
 from .perf import make_result
 from .results import SimResult
 from .trace import auto_granularity, iter_program_trace, program_trace_bytes
+
+#: Optional phase-profiling hook: ``hook(phase, seconds)`` per engine
+#: run, with phases ``"trace-gen"`` (lazy trace production),
+#: ``"cache-kernel"`` (set-associative replay) and ``"chord-accounting"``
+#: (the schedule-driven op walk).  ``None`` (the default) keeps the hot
+#: paths timer-free; the service daemon installs a histogram-feeding
+#: hook under ``--phase-profile`` so "simulation is slow" decomposes
+#: into which phase regressed.  Pool workers install a local collector
+#: and ship the timings back with the result
+#: (:mod:`repro.orchestrator.parallel`).
+_PHASE_HOOK: Optional[Callable[[str, float], None]] = None
+
+
+def set_phase_hook(hook: Optional[Callable[[str, float], None]]) -> None:
+    """Install (or with ``None`` remove) the process-wide phase hook."""
+    global _PHASE_HOOK
+    _PHASE_HOOK = hook
+
+
+def get_phase_hook() -> Optional[Callable[[str, float], None]]:
+    return _PHASE_HOOK
+
+
+def _timed_trace(segments: Iterable, sink: Dict[str, float]) -> Iterable:
+    """Wrap a lazy trace so time spent *producing* segments accumulates
+    in ``sink["trace-gen"]``, separable from the cache kernel consuming
+    them (generator and kernel interleave on one thread)."""
+    it = iter(segments)
+    while True:
+        t0 = time.perf_counter()
+        try:
+            segment = next(it)
+        except StopIteration:
+            return
+        finally:
+            sink["trace-gen"] = (sink.get("trace-gen", 0.0)
+                                 + time.perf_counter() - t0)
+        yield segment
 
 
 @dataclass(frozen=True)
@@ -89,6 +128,8 @@ class ScheduleEngine:
             is_cold_input[name] = dag.producer_of(name) is None
             last_use_of[name] = hints.get(name).last_use()
 
+        hook = _PHASE_HOOK
+        t_account = time.perf_counter() if hook is not None else 0.0
         for i, op in enumerate(dag.ops):
             for t in op.inputs:
                 name = t.name
@@ -135,6 +176,8 @@ class ScheduleEngine:
                         chord.retire(t.name)
 
         chord.finalize()
+        if hook is not None:
+            hook("chord-accounting", time.perf_counter() - t_account)
         # Program outputs that never routed through CHORD (small RF-resident
         # results like a GNN's logits) still drain to DRAM exactly once.
         for name in dag.program_outputs():
@@ -204,14 +247,24 @@ class CacheEngine:
             policy=self.policy,
             backend=self.backend,
         )
-        cache.access_segments(
-            iter_program_trace(
-                dag, amap,
-                interleave_chunk=self.interleave_chunk,
-                rf_bytes=cfg.rf_bytes,
-            )
+        trace = iter_program_trace(
+            dag, amap,
+            interleave_chunk=self.interleave_chunk,
+            rf_bytes=cfg.rf_bytes,
         )
-        cache.flush()
+        hook = _PHASE_HOOK
+        if hook is None:
+            cache.access_segments(trace)
+            cache.flush()
+        else:
+            sink: Dict[str, float] = {}
+            t_total = time.perf_counter()
+            cache.access_segments(_timed_trace(trace, sink))
+            cache.flush()
+            elapsed = time.perf_counter() - t_total
+            gen = sink.get("trace-gen", 0.0)
+            hook("trace-gen", gen)
+            hook("cache-kernel", max(0.0, elapsed - gen))
         total_macs = sum(op.macs for op in dag.ops)
         return make_result(
             config=config_name,

@@ -17,6 +17,7 @@ Two layers:
   simulations, ever).
 """
 
+import io
 import json
 import socket
 import threading
@@ -38,7 +39,7 @@ from repro.baselines.configs import run_config
 from repro.hw.config import GB, MIB, AcceleratorConfig
 from repro.orchestrator.spec import SweepSpec
 from repro.orchestrator.store import ResultStore
-from repro.service import JobFailed, ServiceError
+from repro.service import JobFailed, RequestLog, ServiceError
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.workloads.registry import resolve_workload
 from test_service import (
@@ -312,6 +313,52 @@ class TestChaos:
         health = {s["id"]: s["healthy"] for s in topo["shards"]}
         assert health[fab.proxies[victim].id] is False
         assert sum(health.values()) == 2
+
+    def test_trace_id_spans_every_hop_including_the_requeue(
+            self, tmp_path):
+        """One traced submission through a dying fabric: the client's
+        trace_id appears on the gateway's sweep record, on the requeue
+        record the gateway mints when the victim dies, and in the shard
+        processes' own request logs — with parent_span links forming the
+        hop tree client → gateway → (shards | requeue → survivors)."""
+        shard_log = tmp_path / "shard_logs.jsonl"
+        gw_stream = io.StringIO()
+        fab, victim, points = self._arm(
+            tmp_path, request_log=RequestLog(gw_stream),
+            shard_args=["--log-json", str(shard_log)])
+        fab.proxies[victim].plan.kill_after_results = 1
+        with fab:
+            with fab.client(client_id="tracer", trace=True) as client:
+                out = submit_chaos(client)
+        assert len(out.points) == CHAOS_POINTS
+        assert out.requeued >= 2
+        assert out.trace_id is not None
+
+        gw_records = [json.loads(line) for line in
+                      gw_stream.getvalue().splitlines() if line]
+        sweep = next(r for r in gw_records if r["op"] == "sweep")
+        assert sweep["trace_id"] == out.trace_id
+        assert sweep["outcome"] == "done"
+        # the gateway span hangs off the client's root span
+        assert sweep["parent_span"]
+        requeue = next(r for r in gw_records if r["op"] == "requeue")
+        assert requeue["trace_id"] == out.trace_id
+        assert requeue["parent_span"] == sweep["span_id"]
+        assert requeue["points"] >= 2
+        assert f"shard {fab.proxies[victim].id}" in requeue["error"]
+
+        shard_records = [json.loads(line) for line in
+                         shard_log.read_text().splitlines() if line]
+        hops = [r for r in shard_records
+                if r.get("trace_id") == out.trace_id]
+        assert hops, "no shard record carried the client's trace id"
+        parents = {r["parent_span"] for r in hops}
+        # primary partitions hang off the gateway's sweep span; the
+        # failover partitions hang off the requeue span it minted
+        assert sweep["span_id"] in parents
+        assert requeue["span_id"] in parents
+        assert all(r["outcome"] == "done" for r in hops)
+        self._check_store_exactly_once(fab, points)
 
     def test_dropped_connection_requeues_and_shard_recovers(
             self, tmp_path):

@@ -226,13 +226,25 @@ class TestRequestLog:
     def test_one_compact_json_line_per_request(self):
         [rec] = self._records(lambda log: log.log(
             "sweep", client="alice", job="j1", points=4, sims=2,
-            hits=1, coalesced=1, latency_s=0.25, outcome="done"))
+            hits=1, coalesced=1, duration_s=0.25, outcome="done"))
         assert rec["client"] == "alice" and rec["op"] == "sweep"
         assert rec["job"] == "j1"
         assert (rec["points"], rec["sims"], rec["hits"],
                 rec["coalesced"]) == (4, 2, 1, 1)
-        assert rec["latency_s"] == 0.25 and rec["outcome"] == "done"
+        assert rec["duration_s"] == 0.25 and rec["outcome"] == "done"
         assert "error" not in rec and isinstance(rec["ts"], float)
+
+    def test_trace_fields_ride_along_only_when_traced(self):
+        [traced, untraced] = self._records(lambda log: (
+            log.log("points", trace={"trace_id": "ab" * 8,
+                                     "span_id": "cd" * 4,
+                                     "parent_span": "ef" * 4}),
+            log.log("points")))
+        assert traced["trace_id"] == "ab" * 8
+        assert traced["span_id"] == "cd" * 4
+        assert traced["parent_span"] == "ef" * 4
+        for field in ("trace_id", "span_id", "parent_span"):
+            assert field not in untraced
 
     def test_anonymous_client_and_error_fields(self):
         [rec] = self._records(lambda log: log.log(
@@ -491,13 +503,15 @@ class TestRequestLogWiring:
         by_op = {rec["op"]: rec for rec in records}
         assert by_op["ping"]["client"] == "alice"
         assert by_op["ping"]["outcome"] == "ok"
-        assert by_op["ping"]["latency_s"] >= 0
+        assert by_op["ping"]["duration_s"] >= 0
         sweep = by_op["sweep"]
         assert sweep["client"] == "alice" and sweep["outcome"] == "done"
         assert sweep["points"] == 4
         assert sweep["sims"] == DISTINCT_KEYS
         assert sweep["job"].startswith("j")
-        assert sweep["latency_s"] > 0
+        assert sweep["duration_s"] > 0
+        # Untraced traffic never grows trace fields in its records.
+        assert "trace_id" not in sweep and "trace_id" not in by_op["ping"]
 
 
 class TestProtocolV4Stability:

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Minimal Prometheus text-exposition validator (CI metrics-smoke job).
+
+Validates scrapes of ``repro serve/gateway --prom-port`` without any
+third-party dependency (promtool is not in the CI image):
+
+1. **Syntax** — every non-comment line parses as
+   ``name{labels} value`` with a valid metric name and a float value.
+2. **Typing** — every sample's family (``_bucket``/``_sum``/``_count``
+   collapse onto their histogram family) has a preceding ``# TYPE``
+   line, and the declared type admits the sample's suffix.
+3. **Histogram shape** — each histogram series (per label set minus
+   ``le``) has cumulative, monotonically non-decreasing buckets ending
+   in ``le="+Inf"``, plus matching ``_sum`` and ``_count`` samples with
+   ``_count`` equal to the +Inf bucket.
+
+Usage::
+
+    python tools/check_prom.py scrape1.txt [scrape2.txt ...]
+    some-command | python tools/check_prom.py -
+
+Exit status 0 when every file is clean; 1 with a per-problem report.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Tuple
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped", "info")
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text.strip():
+        return labels
+    for part in text.split(","):
+        m = _LABEL.match(part.strip())
+        if m is None:
+            raise ValueError(f"bad label pair {part.strip()!r}")
+        labels[m.group("key")] = m.group("val")
+    return labels
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """Map a sample name to its declared family: histogram samples use
+    the ``_bucket``/``_sum``/``_count`` suffixes, counters ``_total``."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def check_text(text: str, source: str = "<scrape>") -> List[str]:
+    """All problems found in one exposition body (empty = clean)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helps: set = set()
+    # (family, labels-without-le) -> [(le, value)] for histogram checks
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                  List[Tuple[str, float]]] = {}
+    sums: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        def problem(msg: str) -> None:
+            problems.append(f"{source}:{lineno}: {msg}: {line!r}")
+
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not _NAME.match(parts[2]):
+                problem("malformed HELP line")
+            else:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 4)
+            if len(parts) != 4 or not _NAME.match(parts[2]):
+                problem("malformed TYPE line")
+                continue
+            name, mtype = parts[2], parts[3]
+            if mtype not in _TYPES:
+                problem(f"unknown metric type {mtype!r}")
+            if name in types:
+                problem(f"duplicate TYPE for {name}")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+
+        m = _SAMPLE.match(line)
+        if m is None:
+            problem("unparseable sample line")
+            continue
+        name = m.group("name")
+        try:
+            labels = _parse_labels(m.group("labels") or "")
+        except ValueError as exc:
+            problem(str(exc))
+            continue
+        value_text = m.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            problem(f"non-numeric sample value {value_text!r}")
+            continue
+
+        family = _family_of(name, types)
+        if family not in types:
+            problem(f"sample for {name} has no # TYPE declaration")
+            continue
+        mtype = types[family]
+        if mtype == "histogram":
+            series = tuple(sorted((k, v) for k, v in labels.items()
+                                  if k != "le"))
+            key = (family, series)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problem("histogram _bucket sample without an le label")
+                    continue
+                buckets.setdefault(key, []).append((labels["le"], value))
+            elif name.endswith("_sum"):
+                sums[key] = value
+            elif name.endswith("_count"):
+                counts[key] = value
+            else:
+                problem(f"histogram family {family} has a bare sample")
+        elif mtype == "counter":
+            if value < 0:
+                problem("counter sample is negative")
+
+    for (family, series), entries in sorted(buckets.items()):
+        where = f"{source}: histogram {family}{dict(series) or ''}"
+        les = [le for le, _ in entries]
+        if les[-1] != "+Inf":
+            problems.append(f"{where}: buckets do not end with le=\"+Inf\" "
+                            f"(got {les})")
+            continue
+        finite = []
+        for le in les[:-1]:
+            try:
+                finite.append(float(le))
+            except ValueError:
+                problems.append(f"{where}: non-numeric le {le!r}")
+                break
+        else:
+            if finite != sorted(finite):
+                problems.append(f"{where}: le bounds are not increasing")
+            values = [v for _, v in entries]
+            if any(b > a for a, b in zip(values[1:], values[:-1])):
+                problems.append(
+                    f"{where}: bucket counts are not cumulative "
+                    f"(non-decreasing): {values}")
+            if (family, series) not in sums:
+                problems.append(f"{where}: missing _sum sample")
+            count = counts.get((family, series))
+            if count is None:
+                problems.append(f"{where}: missing _count sample")
+            elif count != values[-1]:
+                problems.append(
+                    f"{where}: _count {count} != +Inf bucket {values[-1]}")
+    for (family, series) in sorted(set(sums) | set(counts)):
+        if (family, series) not in buckets:
+            problems.append(
+                f"{source}: histogram {family}{dict(series) or ''} has "
+                "_sum/_count but no _bucket samples")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_prom.py FILE [FILE ...]  (or - for stdin)",
+              file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    for path in argv:
+        if path == "-":
+            problems += check_text(sys.stdin.read(), "<stdin>")
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    problems += check_text(fh.read(), path)
+            except OSError as exc:
+                problems.append(f"{path}: cannot read: {exc}")
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_prom: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_prom: {len(argv)} scrape(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
